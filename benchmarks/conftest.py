@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment from DESIGN.md's
+per-experiment index: it prints the paper-vs-measured table (the numbers
+recorded in EXPERIMENTS.md) and times a representative operation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_banner():
+    print("\n" + "=" * 72)
+    print("repro benchmark harness — Kühn, SDM@VLDB 2006")
+    print("every table below is recorded in EXPERIMENTS.md")
+    print("=" * 72)
+    yield

@@ -1,0 +1,47 @@
+"""E5 — §3.2 integrity attack on the [3] index encryption.
+
+Paper claim: "A partial substitution of key entries in the index table
+might be possible along the same lines" as the cell forgery — the
+embedded r_I survives modification of early ciphertext blocks.
+"""
+
+from repro.analysis.report import format_table, print_experiment
+from repro.attacks.forgery import evaluate_index_forgery
+from repro.core.encrypted_db import EncryptionConfig
+from repro.workloads.datasets import build_documents_db
+
+ROWS = 8
+VALUE_LENGTH = 64
+
+
+def run(index_scheme):
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme=index_scheme),
+        rows=ROWS,
+    )
+    index = db.index("documents_by_body").structure
+    return evaluate_index_forgery(index, VALUE_LENGTH, index_scheme)
+
+
+def test_e5_index_integrity(benchmark):
+    broken = run("sdm2004")
+    fixed = run("aead")
+    print_experiment(
+        "E5", "§3.2 cut-and-paste against [3] index entries",
+        format_table(
+            ["index scheme", "attempts", "accepted", "rate", "broken"],
+            [
+                ["sdm2004 (eqs. 4–5)", int(broken.metrics["attempts"]),
+                 int(broken.metrics["forgeries"]), broken.metrics["rate"],
+                 broken.succeeded],
+                ["aead fix (eqs. 25–26)", int(fixed.metrics["attempts"]),
+                 int(fixed.metrics["forgeries"]), fixed.metrics["rate"],
+                 fixed.succeeded],
+            ],
+            caption=f"{ROWS} documents; every entry, every forgeable block",
+        ),
+    )
+    assert broken.metrics["rate"] == 1.0
+    assert not fixed.succeeded
+
+    benchmark(run, "sdm2004")

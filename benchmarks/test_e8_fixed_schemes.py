@@ -1,0 +1,83 @@
+"""E8 — §4 the fixed schemes resist every §3 attack.
+
+Every attack procedure from E1–E7 is rerun verbatim against the AEAD
+configurations, plus the two empirical security games.  Expected row:
+zero successes everywhere, for every AEAD choice.
+"""
+
+from repro.analysis.report import format_table, print_experiment
+from repro.attacks.forgery import evaluate_append_forgery, evaluate_index_forgery
+from repro.attacks.games import equality_distinguisher_game, tamper_game
+from repro.attacks.index_linkage import evaluate_index_linkage
+from repro.attacks.pattern_matching import evaluate_pattern_matching
+from repro.attacks.substitution import evaluate_substitution
+from repro.core.encrypted_db import EncryptionConfig
+from repro.workloads.datasets import build_documents_db
+
+ROWS = 12
+AEADS = ["eax", "ocb", "ccfb", "gcm", "siv"]
+
+
+def attack_battery(aead: str) -> list[tuple[str, bool]]:
+    config = EncryptionConfig.paper_fixed(aead)
+    db = build_documents_db(config, rows=ROWS, groups=4)
+    storage = db.storage_view()
+    index = db.index("documents_by_body").structure
+    truth_pairs = {
+        (i, j) for i in range(ROWS) for j in range(i + 1, ROWS) if i % 4 == j % 4
+    }
+    results = [
+        ("E1 pattern matching", evaluate_pattern_matching(
+            storage, "documents", 1, truth_pairs, aead).succeeded),
+        ("E2 cell forgery", evaluate_append_forgery(
+            db, storage, "documents", 1, "body", 64, aead).succeeded),
+        ("E3 substitution", evaluate_substitution(
+            db, storage, "documents", 1, "body", ROWS, aead).succeeded),
+        ("E4/E6 index linkage", evaluate_index_linkage(
+            storage, "documents_by_body", "documents", 1, {}, aead).succeeded),
+        ("E5 index forgery", evaluate_index_forgery(index, 64, aead).succeeded),
+    ]
+    return results
+
+
+def test_e8_fixed_schemes_resist_everything(benchmark):
+    rows = []
+    any_success = False
+    for aead in AEADS:
+        battery = attack_battery(aead)
+        broken = [name for name, success in battery if success]
+        any_success |= bool(broken)
+        rows.append([aead, len(battery), len(broken), ", ".join(broken) or "-"])
+    print_experiment(
+        "E8a", "§4 attack battery vs every AEAD instantiation of the fix",
+        format_table(
+            ["aead", "attacks run", "attacks succeeded", "which"],
+            rows,
+        ),
+    )
+    assert not any_success
+
+    lr_broken = equality_distinguisher_game(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"), trials=16
+    )
+    lr_fixed = equality_distinguisher_game(EncryptionConfig.paper_fixed("eax"), trials=16)
+    tg_broken = tamper_game(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"), trials=6
+    )
+    tg_fixed = tamper_game(EncryptionConfig.paper_fixed("eax"), trials=6)
+    print_experiment(
+        "E8b", "§4 empirical security games (broken vs fixed)",
+        format_table(
+            ["game", "append/zero-IV", "aead fix"],
+            [
+                ["LR distinguisher advantage", lr_broken.advantage, lr_fixed.advantage],
+                ["tamper acceptances", int(tg_broken.metrics["accepted"]),
+                 int(tg_fixed.metrics["accepted"])],
+            ],
+        ),
+    )
+    assert lr_broken.advantage == 1.0
+    assert lr_fixed.advantage < 0.8
+    assert tg_broken.succeeded and not tg_fixed.succeeded
+
+    benchmark(attack_battery, "eax")

@@ -1,0 +1,61 @@
+"""X1 — footnote 1: the leaf-verification bugs in [12]'s query code.
+
+Paper: "this code contains two bugs: While it checks the integrity of
+the data in inner nodes during the tree-walk, it fails to do so on the
+leaf-level, both for finding the right starting place for the answer,
+and for generating the answer from the list of right-sibling
+references.  Both bugs can be easily fixed."
+"""
+
+from repro.analysis.report import format_table, print_experiment
+from repro.core.encrypted_db import EncryptionConfig
+from repro.errors import AuthenticationError, CryptoError
+from repro.workloads.datasets import build_documents_db
+
+ROWS = 16
+
+
+def run_swap_experiment(leaf_bug: bool):
+    """Swap two leaf payloads; ask whether a range query notices."""
+    db = build_documents_db(
+        EncryptionConfig(
+            cell_scheme="append", index_scheme="dbsec2005",
+            faithful_leaf_bug=leaf_bug,
+        ),
+        rows=ROWS, groups=ROWS,
+    )
+    index = db.index("documents_by_body").structure
+    truth = index.items()
+    leaves = [r for r in index.raw_rows() if r.is_leaf and not r.deleted]
+    a, b = leaves[3], leaves[7]
+    pa, pb = a.payload, b.payload
+    index.tamper(a.row_id, pb)
+    index.tamper(b.row_id, pa)
+    try:
+        answer = index.range_search(truth[0][0], truth[-1][0])
+        detected = False
+        wrong = [row for _, row in answer] != [row for _, row in truth]
+    except (AuthenticationError, CryptoError):
+        detected = True
+        wrong = False
+    return detected, wrong
+
+
+def test_x1_leaf_verification_bug(benchmark):
+    buggy_detected, buggy_wrong = run_swap_experiment(leaf_bug=True)
+    fixed_detected, fixed_wrong = run_swap_experiment(leaf_bug=False)
+    print_experiment(
+        "X1", "footnote 1 — leaf-level integrity check in [12] query code",
+        format_table(
+            ["query code", "tamper detected", "silently wrong answer"],
+            [
+                ["faithful [12] pseudo-code (buggy)", buggy_detected, buggy_wrong],
+                ["with the easy fix applied", fixed_detected, fixed_wrong],
+            ],
+            caption="two leaf payloads swapped by a storage adversary",
+        ),
+    )
+    assert not buggy_detected and buggy_wrong
+    assert fixed_detected and not fixed_wrong
+
+    benchmark(run_swap_experiment, True)

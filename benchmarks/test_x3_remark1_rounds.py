@@ -1,0 +1,82 @@
+"""X3 — Remark 1: client-side traversal without key handover.
+
+Paper: avoiding the handover costs "logarithmic many additional
+communication rounds between client and server ... Such a scheme might
+be worthwhile if the index uses d-nary B⁺-trees with d ≥ 2."  The table
+shows rounds per point query vs index fan-out and size.
+"""
+
+import math
+
+from repro.analysis.report import format_table, print_experiment
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.core.session import ClientSideTraversal
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.workloads.datasets import DEFAULT_MASTER_KEY
+
+SCHEMA = TableSchema("t", [Column("k", ColumnType.INT)])
+SIZES = [64, 256, 512]
+ORDERS = [4, 8, 16]
+
+
+def build(rows: int):
+    db = EncryptedDatabase(DEFAULT_MASTER_KEY, EncryptionConfig.paper_fixed("eax"))
+    db.create_table(SCHEMA)
+    for i in range(rows):
+        db.insert("t", [i])
+    db.create_index("binary", "t", "k", kind="table")
+    for order in ORDERS:
+        db.create_index(f"dary-{order}", "t", "k", kind="btree", order=order)
+    return db
+
+
+def measure(db, index_name, rows):
+    key = (rows // 2 + (1 << 63)).to_bytes(8, "big")
+    trace = ClientSideTraversal(db.index(index_name).structure).search(key)
+    assert trace.row_ids == [rows // 2]
+    return trace.rounds
+
+
+def measure_bytes(db, index_name, rows):
+    key = (rows // 2 + (1 << 63)).to_bytes(8, "big")
+    trace = ClientSideTraversal(db.index(index_name).structure).search(key)
+    return trace.bytes_transferred
+
+
+def test_x3_remark1_rounds(benchmark):
+    table_rows = []
+    bandwidth_rows = []
+    for rows in SIZES:
+        db = build(rows)
+        record = [rows, round(math.log2(rows), 1), measure(db, "binary", rows)]
+        bandwidth = [rows, measure_bytes(db, "binary", rows)]
+        for order in ORDERS:
+            record.append(measure(db, f"dary-{order}", rows))
+            bandwidth.append(measure_bytes(db, f"dary-{order}", rows))
+        table_rows.append(record)
+        bandwidth_rows.append(bandwidth)
+    print_experiment(
+        "X3", "Remark 1 — communication rounds per point query (no key handover)",
+        format_table(
+            ["index size", "log2(n)", "binary ([3] layout)"]
+            + [f"B⁺ order {o}" for o in ORDERS],
+            table_rows,
+            caption="rounds = nodes shipped to the client during one search",
+        ),
+    )
+    print_experiment(
+        "X3 (bandwidth)", "Remark 1 — octets shipped to the client per point query",
+        format_table(
+            ["index size", "binary ([3] layout)"] + [f"B⁺ order {o}" for o in ORDERS],
+            bandwidth_rows,
+            caption="wider nodes trade rounds for bytes per round",
+        ),
+    )
+    # The Remark-1 claim: logarithmic rounds, shrinking with fan-out.
+    last = table_rows[-1]
+    binary_rounds, dary_rounds = last[2], last[-1]
+    assert binary_rounds > dary_rounds
+    assert dary_rounds <= math.ceil(math.log(SIZES[-1], ORDERS[-1] // 2)) + 2
+
+    db = build(256)
+    benchmark(measure, db, "dary-8", 256)

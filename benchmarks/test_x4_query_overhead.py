@@ -1,0 +1,66 @@
+"""X4 — end-to-end query cost across scheme configurations.
+
+Engineering context for §4: what the encryption layer costs at the
+query level, plain vs [3]/[12] vs the AEAD fix.  Absolute times are
+pure-Python; the comparison is the deliverable.
+"""
+
+import time
+
+from repro.analysis.report import format_table, print_experiment
+from repro.core.encrypted_db import EncryptionConfig
+from repro.engine.query import PointQuery, RangeQuery
+from repro.workloads.datasets import build_patients_db
+
+ROWS = 120
+
+CONFIGS = [
+    ("plain (no encryption)", EncryptionConfig(cell_scheme="plain", index_scheme="plain")),
+    ("[3] append + sdm2004", EncryptionConfig.paper_broken()),
+    ("[12] append + dbsec2005", EncryptionConfig.paper_broken(index_scheme="dbsec2005")),
+    ("fix: EAX (§4)", EncryptionConfig.paper_fixed("eax")),
+    ("fix: OCB⊕PMAC (§4)", EncryptionConfig.paper_fixed("ocb")),
+    ("fix: CCFB (§4)", EncryptionConfig.paper_fixed("ccfb")),
+]
+
+
+def timed(callable_, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = callable_()
+    return (time.perf_counter() - start) / repeats * 1000, result
+
+
+def test_x4_query_overhead(benchmark):
+    rows = []
+    reference_answers = None
+    for label, config in CONFIGS:
+        build_ms, db = timed(lambda c=config: build_patients_db(c, rows=ROWS), repeats=1)
+        point = PointQuery("patients", "age", 40)
+        rng_query = RangeQuery("patients", "age", 30, 50)
+        point_ms, point_result = timed(lambda: point.execute(db))
+        range_ms, range_result = timed(lambda: rng_query.execute(db))
+        answers = (point_result.rows, range_result.rows)
+        if reference_answers is None:
+            reference_answers = answers
+        else:
+            # Structure preservation: every configuration answers identically.
+            assert answers == reference_answers, label
+        rows.append([
+            label,
+            round(build_ms, 1),
+            round(point_ms, 2),
+            round(range_ms, 2),
+            len(range_result),
+        ])
+    print_experiment(
+        "X4", "end-to-end query cost (pure-Python ms; identical answers everywhere)",
+        format_table(
+            ["configuration", "load ms", "point query ms", "range query ms", "range hits"],
+            rows,
+            caption=f"{ROWS} patients, index on age; load = insert + index build",
+        ),
+    )
+
+    db = build_patients_db(EncryptionConfig.paper_fixed("eax"), rows=ROWS)
+    benchmark(lambda: PointQuery("patients", "age", 40).execute(db))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Key lifecycle: per-column grants and master-key rotation.
+
+Extends the paper's Sect. 2.1 key-handover model to the rest of a key's
+life: granting *parts* of the database to different principals
+(discretionary access control enforced by cryptography, not policy) and
+retiring a master key without downtime or data movement.
+
+Run:  python examples/key_lifecycle.py
+"""
+
+from repro.core import (
+    AccessController,
+    EncryptedDatabase,
+    EncryptionConfig,
+    rotate_master_key,
+)
+from repro.core.encrypted_db import _make_aead
+from repro.engine import Column, ColumnType, PointQuery, TableSchema, verify_database
+from repro.errors import AuthenticationError
+
+OLD_MASTER = b"2025-master-key-0123456789abcdef"
+NEW_MASTER = b"2026-master-key-0123456789abcdef"
+
+
+def main() -> None:
+    # One AEAD key per column: required for cryptographic grants.
+    config = EncryptionConfig.paper_fixed("eax").with_(per_column_keys=True)
+    db = EncryptedDatabase(OLD_MASTER, config)
+    db.create_table(TableSchema("employees", [
+        Column("name", ColumnType.TEXT),
+        Column("salary", ColumnType.INT),
+        Column("review", ColumnType.TEXT),
+    ]))
+    for name, salary, review in [
+        ("alice", 120_000, "exceeds expectations"),
+        ("bob", 95_000, "meets expectations"),
+        ("carol", 150_000, "exceptional"),
+    ]:
+        db.insert("employees", [name, salary, review])
+    db.create_index("by_salary", "employees", "salary", kind="btree")
+
+    # --- 1. Grants: payroll sees salaries, the chatbot only names -----------
+    controller = AccessController(db, db.cell_codec, lambda k: _make_aead("eax", k))
+    controller.grant("payroll", "employees", "name")
+    controller.grant("payroll", "employees", "salary")
+    controller.grant("chatbot", "employees", "name")
+
+    payroll = controller.credential_for("payroll")
+    chatbot = controller.credential_for("chatbot")
+    storage = db.storage_view()
+    address = db.table("employees").address(0, 1)  # alice's salary
+    stored = storage.cell("employees", 0, 1)
+
+    salary = payroll.decrypt_cell(stored, "employees", "salary", address)
+    print("payroll reads alice's salary:", int.from_bytes(salary, "big") - 2**63)
+    try:
+        chatbot.decrypt_cell(stored, "employees", "salary", address)
+    except AuthenticationError:
+        print("chatbot denied alice's salary (indistinguishable from tampering)")
+
+    # --- 2. Annual key rotation --------------------------------------------
+    report = rotate_master_key(db, NEW_MASTER)
+    print(
+        f"\nrotated: {report.cells_reencrypted} cells and "
+        f"{report.index_entries_reencrypted} index entries re-encrypted"
+    )
+
+    # Queries are unaffected; the database audits clean under the new key.
+    result = PointQuery("employees", "salary", 150_000).execute(db)
+    print("post-rotation query:", result.values(0))
+    print("post-rotation audit:", verify_database(db))
+
+    # Credentials from the old master key era are now dead.
+    try:
+        payroll.decrypt_cell(
+            storage.cell("employees", 0, 1), "employees", "salary", address
+        )
+    except AuthenticationError:
+        print("pre-rotation payroll credential no longer decrypts (as intended)")
+
+    # Fresh credentials from the new key ring work.
+    controller2 = AccessController(db, db.cell_codec, lambda k: _make_aead("eax", k))
+    controller2.grant("payroll", "employees", "salary")
+    payroll2 = controller2.credential_for("payroll")
+    value = payroll2.decrypt_cell(
+        storage.cell("employees", 0, 1), "employees", "salary", address
+    )
+    print("re-issued credential reads:", int.from_bytes(value, "big") - 2**63)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Editable-install shim for offline environments without the `wheel` package.
+
+`pip install -e .` requires `wheel` for PEP 660 builds; this classic
+setuptools entry point lets `python setup.py develop` (and pip's legacy
+fallback) work from a plain checkout.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of Kühn (SDM@VLDB 2006),
+"Analysis of a Database and Index Encryption Scheme — Problems and Fixes".
+
+The package implements, from scratch:
+
+* the database substrate the schemes run on (:mod:`repro.engine`),
+* the cryptographic primitives they are instantiated with
+  (:mod:`repro.primitives`, :mod:`repro.modes`, :mod:`repro.mac`,
+  :mod:`repro.aead`),
+* the analysed schemes of [3] and [12] and the paper's AEAD fix
+  (:mod:`repro.core`),
+* every attack of Sect. 3 (:mod:`repro.attacks`), and
+* the Sect. 4 overhead analysis (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import EncryptedDatabase, EncryptionConfig
+    from repro.engine import TableSchema, Column, ColumnType, PointQuery
+
+    db = EncryptedDatabase(b"0123456789abcdef" * 2,
+                           EncryptionConfig.paper_fixed("eax"))
+    db.create_table(TableSchema("t", [Column("v", ColumnType.TEXT)]))
+    db.insert("t", ["secret"])
+    db.create_index("t_v", "t", "v")
+    PointQuery("t", "v", "secret").execute(db)
+"""
+
+from repro.core.encrypted_db import (
+    EncryptedDatabase,
+    EncryptionConfig,
+    StorageView,
+)
+from repro.core.keys import KeyRing
+from repro.core.session import ClientSideTraversal, SecureSession
+from repro.errors import (
+    AuthenticationError,
+    CryptoError,
+    DecryptionError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationError",
+    "ClientSideTraversal",
+    "CryptoError",
+    "DecryptionError",
+    "EncryptedDatabase",
+    "EncryptionConfig",
+    "KeyRing",
+    "ReproError",
+    "SecureSession",
+    "StorageView",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Authenticated encryption with associated data (the Sect. 4 fix).
+
+The paper's three named options — EAX, OCB ⊕ PMAC, and CCFB — plus GCM
+and SIV as modern extensions.  All share the interface of eqs. (21)–(22)
+defined in :mod:`repro.aead.base`.
+"""
+
+from repro.aead.base import AEAD, StoredEntry
+from repro.aead.ccfb import CCFB
+from repro.aead.eax import EAX
+from repro.aead.gcm import GCM
+from repro.aead.ocb import OCB
+from repro.aead.siv import SIV
+
+__all__ = ["AEAD", "CCFB", "EAX", "GCM", "OCB", "SIV", "StoredEntry"]
+
+
+def make_aead(name: str, cipher_factory, key: bytes, **kwargs) -> AEAD:
+    """Instantiate a named AEAD over ``cipher_factory(key)``.
+
+    ``cipher_factory`` is a block-cipher class or callable (e.g.
+    :class:`repro.primitives.AES`).  SIV consumes a double-length key,
+    split per RFC 5297 into MAC and CTR halves.
+    """
+    normalized = name.lower()
+    if normalized == "siv":
+        half = len(key) // 2
+        return SIV(cipher_factory(key[:half]), cipher_factory(key[half:]), **kwargs)
+    cls = {"eax": EAX, "ocb": OCB, "ocb-pmac": OCB, "ccfb": CCFB, "gcm": GCM}.get(
+        normalized
+    )
+    if cls is None:
+        raise ValueError(f"unknown AEAD scheme {name!r}")
+    return cls(cipher_factory(key), **kwargs)

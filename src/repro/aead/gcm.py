@@ -1,0 +1,111 @@
+"""AES-GCM (NIST SP 800-38D) — extension beyond the paper's three options.
+
+The paper predates GCM's standardisation (2007); today GCM is the AEAD a
+practitioner would most likely reach for, so the benchmark suite includes
+it in the overhead comparison of Sect. 4 as an extension.  GHASH is
+implemented directly over GF(2^128) with the reflected polynomial.
+"""
+
+from __future__ import annotations
+
+from repro.aead.base import AEAD
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.util import (
+    bytes_to_int,
+    constant_time_equal,
+    int_to_bytes,
+    iter_blocks,
+    xor_bytes,
+    xor_bytes_strict,
+)
+
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_multiply(x: int, y: int) -> int:
+    """Multiplication in GF(2^128) with GCM's bit-reflected convention."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class GHASH:
+    """The GHASH universal hash over GF(2^128)."""
+
+    def __init__(self, h_key: bytes) -> None:
+        self._h = bytes_to_int(h_key)
+        self._state = 0
+
+    def update(self, data: bytes) -> "GHASH":
+        for block in iter_blocks(data.ljust(-(-len(data) // 16) * 16, b"\x00"), 16):
+            self._state = _gf128_multiply(self._state ^ bytes_to_int(block), self._h)
+        return self
+
+    def update_lengths(self, aad_bytes: int, ct_bytes: int) -> "GHASH":
+        block = int_to_bytes(aad_bytes * 8, 8) + int_to_bytes(ct_bytes * 8, 8)
+        self._state = _gf128_multiply(self._state ^ bytes_to_int(block), self._h)
+        return self
+
+    def digest(self) -> bytes:
+        return int_to_bytes(self._state, 16)
+
+
+class GCM(AEAD):
+    """Galois/Counter mode over a 128-bit block cipher."""
+
+    name = "gcm"
+    nonce_size = 12
+
+    def __init__(self, cipher: BlockCipher, tag_size: int = 16) -> None:
+        if cipher.block_size != 16:
+            raise ValueError("GCM requires a 128-bit block cipher")
+        if not 1 <= tag_size <= 16:
+            raise ValueError("GCM tag size must be between 1 and 16 bytes")
+        self._cipher = cipher
+        self.tag_size = tag_size
+        self._h = cipher.encrypt_block(bytes(16))
+
+    @property
+    def block_size(self) -> int:
+        return 16
+
+    def _counter_block(self, nonce: bytes, counter: int) -> bytes:
+        return nonce + int_to_bytes(counter, 4)
+
+    def _ctr(self, nonce: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        counter = 2  # counter 1 is reserved for the tag mask
+        for block in iter_blocks(data, 16):
+            stream = self._cipher.encrypt_block(self._counter_block(nonce, counter))
+            out += xor_bytes(block, stream[: len(block)])
+            counter += 1
+        return bytes(out)
+
+    def _tag(self, nonce: bytes, ciphertext: bytes, header: bytes) -> bytes:
+        ghash = GHASH(self._h)
+        if header:
+            ghash.update(header)
+        if ciphertext:
+            ghash.update(ciphertext)
+        ghash.update_lengths(len(header), len(ciphertext))
+        mask = self._cipher.encrypt_block(self._counter_block(nonce, 1))
+        return xor_bytes_strict(ghash.digest(), mask)[: self.tag_size]
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, header: bytes = b"") -> tuple[bytes, bytes]:
+        self._check_nonce(nonce)
+        ciphertext = self._ctr(nonce, plaintext)
+        return ciphertext, self._tag(nonce, ciphertext, header)
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes, tag: bytes, header: bytes = b"") -> bytes:
+        self._check_nonce(nonce)
+        expected = self._tag(nonce, ciphertext, header)
+        if not constant_time_equal(expected, tag):
+            raise self._invalid()
+        return self._ctr(nonce, ciphertext)

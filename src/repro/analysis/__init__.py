@@ -1,0 +1,62 @@
+"""Measurement harnesses for the paper's Sect. 4 analysis."""
+
+from repro.analysis.collision import (
+    CollisionExperiment,
+    collision_sweep,
+    expected_second_preimage_trials,
+    partial_second_preimage_search,
+    run_collision_experiment,
+)
+from repro.analysis.granularity import (
+    GRANULARITIES,
+    GranularityCost,
+    granularity_comparison,
+    measure_granularity,
+)
+from repro.analysis.leakage import (
+    PROBES,
+    LeakageProfile,
+    profile_configuration,
+    profile_matrix,
+)
+from repro.analysis.overhead import (
+    ANALYSED_AEADS,
+    PAPER_STORAGE_OCTETS,
+    InvocationCount,
+    StorageOverhead,
+    invocation_sweep,
+    legacy_scheme_invocations,
+    make_counting_aead,
+    measure_blockcipher_invocations,
+    measure_storage_overhead,
+    paper_invocation_formula,
+)
+from repro.analysis.report import format_table, print_experiment
+
+__all__ = [
+    "ANALYSED_AEADS",
+    "CollisionExperiment",
+    "GRANULARITIES",
+    "GranularityCost",
+    "InvocationCount",
+    "LeakageProfile",
+    "PAPER_STORAGE_OCTETS",
+    "PROBES",
+    "StorageOverhead",
+    "collision_sweep",
+    "expected_second_preimage_trials",
+    "format_table",
+    "granularity_comparison",
+    "invocation_sweep",
+    "legacy_scheme_invocations",
+    "make_counting_aead",
+    "measure_blockcipher_invocations",
+    "measure_granularity",
+    "measure_storage_overhead",
+    "paper_invocation_formula",
+    "partial_second_preimage_search",
+    "print_experiment",
+    "profile_configuration",
+    "profile_matrix",
+    "run_collision_experiment",
+]

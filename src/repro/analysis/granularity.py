@@ -1,0 +1,117 @@
+"""Encryption-granularity trade-off analysis.
+
+The schemes of [3] work "on a granularity of individual table cells"
+(paper Sect. 1), which maximises flexibility — per-column protection
+choices, cell-level updates — but pays the Sect. 4 overhead (nonce +
+tag) once *per cell*.  Coarser units amortise that overhead:
+
+* **row**  — one AEAD record per row, AD = (t, r); any cell update
+  re-encrypts the whole row.
+* **table** — one record per table, AD = t; any update re-encrypts
+  everything (the degenerate extreme, shown for scale).
+
+This module measures the real storage totals for each granularity with
+actual AEAD encryptions over actual encoded rows, plus the write
+amplification a single-cell update incurs.  Feeds ablation benchmark A5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.aead.base import AEAD
+from repro.primitives.rng import CountingNonceSource
+from repro.primitives.util import blocks_needed
+
+GRANULARITIES = ("cell", "row", "table")
+
+
+@dataclass(frozen=True)
+class GranularityCost:
+    """Measured cost of protecting one table at one granularity."""
+
+    granularity: str
+    records: int               # AEAD records stored
+    plaintext_octets: int      # total encoded data
+    stored_octets: int         # total including nonces and tags
+    update_amplification: int  # octets re-encrypted for a 1-cell update
+
+    @property
+    def overhead_octets(self) -> int:
+        return self.stored_octets - self.plaintext_octets
+
+    @property
+    def overhead_ratio(self) -> float:
+        if self.plaintext_octets == 0:
+            return 0.0
+        return self.overhead_octets / self.plaintext_octets
+
+
+def _encode_rows(rows: Sequence[Sequence[bytes]]) -> list[list[bytes]]:
+    return [[bytes(cell) for cell in row] for row in rows]
+
+
+def measure_granularity(
+    aead: AEAD,
+    rows: Sequence[Sequence[bytes]],
+    granularity: str,
+) -> GranularityCost:
+    """Encrypt an encoded table at the given granularity and account
+    for every stored octet.
+
+    ``rows`` holds already-encoded cell payloads (schema encoding), as
+    produced by :meth:`repro.engine.schema.TableSchema.encode_row`.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"granularity must be one of {GRANULARITIES}")
+    encoded = _encode_rows(rows)
+    nonce_size = aead.nonce_size if aead.nonce_size is not None else 16
+    nonces = CountingNonceSource(nonce_size)
+    per_record = nonce_size + aead.tag_size
+
+    def sealed_size(plaintext: bytes, header: bytes) -> int:
+        ciphertext, tag = aead.encrypt(nonces.next(), plaintext, header)
+        return nonce_size + len(ciphertext) + len(tag)
+
+    plaintext_octets = sum(len(cell) for row in encoded for cell in row)
+
+    if granularity == "cell":
+        stored = 0
+        for r, row in enumerate(encoded):
+            for c, cell in enumerate(row):
+                stored += sealed_size(cell, f"(t,{r},{c})".encode())
+        records = sum(len(row) for row in encoded)
+        first_cell = len(encoded[0][0]) if encoded and encoded[0] else 0
+        amplification = first_cell + per_record
+    elif granularity == "row":
+        stored = 0
+        for r, row in enumerate(encoded):
+            # Length-prefixed concatenation keeps cells parseable.
+            blob = b"".join(len(c).to_bytes(4, "big") + c for c in row)
+            stored += sealed_size(blob, f"(t,{r})".encode())
+        records = len(encoded)
+        first_row = sum(len(c) + 4 for c in encoded[0]) if encoded else 0
+        amplification = first_row + per_record
+    else:  # table
+        blob = b"".join(
+            len(c).to_bytes(4, "big") + c for row in encoded for c in row
+        )
+        stored = sealed_size(blob, b"(t)")
+        records = 1
+        amplification = len(blob) + per_record
+
+    return GranularityCost(
+        granularity=granularity,
+        records=records,
+        plaintext_octets=plaintext_octets,
+        stored_octets=stored,
+        update_amplification=amplification,
+    )
+
+
+def granularity_comparison(
+    aead: AEAD, rows: Sequence[Sequence[bytes]]
+) -> list[GranularityCost]:
+    """All three granularities over the same data."""
+    return [measure_granularity(aead, rows, g) for g in GRANULARITIES]

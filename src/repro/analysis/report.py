@@ -1,0 +1,50 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints its rows through these helpers so the harness
+output reads like the paper's exposition: one table per experiment, a
+caption naming the paper locus, aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    caption: str = "",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if caption:
+        parts.append(caption)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def print_experiment(experiment_id: str, paper_locus: str, table: str) -> None:
+    """Emit one experiment block in the house style."""
+    banner = f"== {experiment_id} — {paper_locus} =="
+    print()
+    print(banner)
+    print(table)

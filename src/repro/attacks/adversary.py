@@ -1,0 +1,45 @@
+"""The storage-level adversary and shared attack result types.
+
+Every attack in this package is executed through a
+:class:`~repro.core.encrypted_db.StorageView` — the adversary reads and
+writes stored bytes but never touches a key.  When an attack needs
+"public information" (schema shape, µ's output length, the index entry
+framing), that information is genuinely public in the paper's model and
+is passed in explicitly so each attack's knowledge assumptions are
+visible in its signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AttackOutcome:
+    """Normalised result record every attack produces.
+
+    ``succeeded`` means the attack achieved its goal against this
+    configuration; attacks against the fixed schemes are expected to
+    return ``succeeded=False`` (benchmark E8 asserts exactly that).
+    """
+
+    attack: str
+    scheme: str
+    succeeded: bool
+    detail: str = ""
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        flag = "BROKEN" if self.succeeded else "resisted"
+        extras = ", ".join(f"{k}={v:g}" for k, v in sorted(self.metrics.items()))
+        suffix = f" ({extras})" if extras else ""
+        return f"[{self.attack}] {self.scheme}: {flag}{suffix} {self.detail}".rstrip()
+
+
+@dataclass(frozen=True)
+class LinkageClaim:
+    """One adversarial claim that an index entry matches a table cell."""
+
+    index_row: int
+    table_row: int
+    shared_blocks: int

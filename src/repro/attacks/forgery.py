@@ -1,0 +1,189 @@
+"""CBC cut-and-paste forgeries (paper Sect. 3.1 second attack, Sect. 3.2).
+
+The Append-Scheme's "authentication" is the address checksum µ(t,r,c)
+occupying the final plaintext blocks.  CBC decryption propagates a
+ciphertext modification only into its own and the following block
+(paper footnote 4), so modifying ciphertext blocks C_1 .. C_{s-1} —
+everything up to two blocks before the checksum — leaves every checksum
+block's decryption untouched: "we have produced an existential forgery,
+thus breaking the authentication of data and cell address."
+
+The same mechanics break the [3] index scheme's integrity (Sect. 3.2):
+there the trailing plaintext is ``r_I`` (and ``r`` for leaves), so early
+blocks of a long key V can be modified without the self-reference check
+noticing (attack E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.adversary import AttackOutcome
+from repro.core.encrypted_db import EncryptedDatabase, StorageView
+from repro.engine.indextable import IndexTable
+from repro.errors import CryptoError
+from repro.primitives.util import split_blocks
+
+
+@dataclass
+class ForgeryResult:
+    """What happened when the victim read the forged bytes back."""
+
+    accepted: bool           # no error raised at decryption time
+    value_changed: bool      # and the decrypted value differs from the original
+    modified_block: int      # which ciphertext block the adversary rewrote
+
+    @property
+    def is_existential_forgery(self) -> bool:
+        return self.accepted and self.value_changed
+
+
+def _flip_block(ciphertext: bytes, block_index: int, block_size: int) -> bytes:
+    """Return the ciphertext with one block XOR-perturbed."""
+    blocks = split_blocks(ciphertext, block_size)
+    mutated = bytearray(blocks[block_index])
+    mutated[0] ^= 0x01
+    mutated[-1] ^= 0x80
+    blocks[block_index] = bytes(mutated)
+    return b"".join(blocks)
+
+
+def forgeable_block_count(
+    value_length: int, mu_size: int, block_size: int = 16
+) -> int:
+    """How many leading ciphertext blocks the attack may modify.
+
+    Modifying C_i garbles plaintext blocks i and i+1 (footnote 4), so
+    both must lie entirely inside V.  With f = ⌊value_length/block_size⌋
+    fully-V blocks, positions 0 .. f−2 qualify: f−1 usable blocks.  (For
+    block-aligned values this is the paper's s−1.)
+    """
+    full_value_blocks = value_length // block_size
+    return max(full_value_blocks - 1, 0)
+
+
+def forge_append_cell(
+    db: EncryptedDatabase,
+    storage: StorageView,
+    table: str,
+    row: int,
+    column: int,
+    column_name: str,
+    block_index: int = 0,
+    block_size: int = 16,
+) -> ForgeryResult:
+    """Execute the Sect. 3.1 forgery against one Append-Scheme cell.
+
+    The adversary perturbs ciphertext block ``block_index`` through the
+    storage view; the *victim* (holding the key) then reads the cell.
+    Acceptance without error despite a changed value is the existential
+    forgery.  Against the AEAD fix the read raises instead.
+    """
+    original_value = db.get_cell_plaintext(table, row, column_name)
+    original_ct = storage.cell(table, row, column)
+    storage.set_cell(
+        table, row, column, _flip_block(original_ct, block_index, block_size)
+    )
+    try:
+        new_value = db.get_cell_plaintext(table, row, column_name)
+    except CryptoError:
+        return ForgeryResult(False, False, block_index)
+    finally:
+        storage.set_cell(table, row, column, original_ct)
+    return ForgeryResult(True, new_value != original_value, block_index)
+
+
+def evaluate_append_forgery(
+    db: EncryptedDatabase,
+    storage: StorageView,
+    table: str,
+    column: int,
+    column_name: str,
+    value_length: int,
+    scheme: str,
+    mu_size: int = 16,
+    block_size: int = 16,
+) -> AttackOutcome:
+    """Run the forgery over every row and every forgeable block position."""
+    attempts = 0
+    forgeries = 0
+    rows = [row_id for row_id, _ in storage.cells(table, column)]
+    usable_blocks = forgeable_block_count(value_length, mu_size, block_size)
+    for row_id in rows:
+        for block_index in range(usable_blocks):
+            attempts += 1
+            result = forge_append_cell(
+                db, storage, table, row_id, column, column_name,
+                block_index, block_size,
+            )
+            if result.is_existential_forgery:
+                forgeries += 1
+    rate = forgeries / attempts if attempts else 0.0
+    return AttackOutcome(
+        attack="append-forgery",
+        scheme=scheme,
+        succeeded=forgeries > 0,
+        detail=f"{forgeries}/{attempts} modifications accepted as valid",
+        metrics={"attempts": attempts, "forgeries": forgeries, "rate": rate},
+    )
+
+
+def forge_index_entry(
+    index: IndexTable,
+    row_id: int,
+    block_index: int = 0,
+    block_size: int = 16,
+) -> ForgeryResult:
+    """Sect. 3.2: partial substitution inside a [3] index entry.
+
+    Perturbs one early ciphertext block of the stored payload and lets
+    the victim decode the entry.  If the scheme accepts (the embedded
+    r_I still matches) while the key V changed, index integrity is
+    broken — and "observation of access patterns as reaction to
+    adaptively triggered queries can leak information on table data".
+    """
+    row = index.row(row_id)
+    original_payload = row.payload
+    refs = row.refs(index.index_table_id)
+    original = index.codec.decode(original_payload, refs)
+    index.tamper(row_id, _flip_block(original_payload, block_index, block_size))
+    try:
+        mutated = index.codec.decode(index.raw_payload(row_id), refs)
+    except CryptoError:
+        return ForgeryResult(False, False, block_index)
+    finally:
+        index.tamper(row_id, original_payload)
+    return ForgeryResult(True, mutated != original, block_index)
+
+
+def evaluate_index_forgery(
+    index: IndexTable,
+    value_length: int,
+    scheme: str,
+    trailer_size: int = 8,
+    block_size: int = 16,
+) -> AttackOutcome:
+    """Run the index forgery over every long-enough leaf entry.
+
+    ``trailer_size`` is the per-entry plaintext the scheme appends after
+    V (r and r_I for [3] leaves); blocks lying fully inside V minus one
+    are forgeable, same arithmetic as the cell attack.
+    """
+    attempts = 0
+    forgeries = 0
+    usable_blocks = forgeable_block_count(value_length, trailer_size, block_size)
+    for row in list(index.raw_rows()):
+        if row.deleted:
+            continue
+        for block_index in range(usable_blocks):
+            attempts += 1
+            if forge_index_entry(index, row.row_id, block_index, block_size).is_existential_forgery:
+                forgeries += 1
+    rate = forgeries / attempts if attempts else 0.0
+    return AttackOutcome(
+        attack="index-forgery",
+        scheme=scheme,
+        succeeded=forgeries > 0,
+        detail=f"{forgeries}/{attempts} index modifications accepted",
+        metrics={"attempts": attempts, "forgeries": forgeries, "rate": rate},
+    )

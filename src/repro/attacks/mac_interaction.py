@@ -1,0 +1,133 @@
+"""The encrypt-and-MAC interaction forgery (paper Sect. 3.3).
+
+The [12] entry uses the *same key k* for its zero-IV CBC encryption
+Ẽ_k(V ∥ a) and its OMAC.  CBC-MAC-style MACs run the very same chain as
+CBC encryption — "the intermediate ciphertexts are not made public, only
+the final one is used as authentication tag" — so for the first s
+blocks the MAC's internal chaining values ARE the ciphertext blocks
+C_1..C_s.
+
+The forgery: replace ciphertext blocks C_1..C_{s-1} with arbitrary
+blocks C'_1..C'_{s-1} and keep C_s onward.  Decryption yields garbled
+plaintext blocks P'_1..P'_s but the random suffix a (block s+1 onward)
+survives untouched.  Recomputing the MAC over the garbled V' walks the
+chain through C'_1..C'_{s-1} and then — because
+E_k(P'_s ⊕ C'_{s-1}) = E_k(D_k(C_s) ⊕ C'_{s-1} ⊕ C'_{s-1}) = C_s —
+rejoins the original chain at exactly C_s.  Every later block of the MAC
+input (the rest of V, Ref_I, Ref_T, Ref_S) is unchanged, so the final
+tag is unchanged: "the scheme fails to detect this modification of the
+ciphertext."
+
+The attack needs nothing but the public entry framing and s — i.e. a
+lower bound on the value's length.  With an independently-keyed MAC
+(``mac_shared_key=False``) the chain identity breaks and the same
+modification is rejected, which is the ablation benchmark A2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.adversary import AttackOutcome
+from repro.core.indexcrypto.dbsec2005 import DBSec2005IndexCodec
+from repro.engine.indextable import IndexTable
+from repro.errors import CryptoError
+from repro.primitives.util import split_blocks
+
+
+@dataclass
+class InteractionForgeryResult:
+    accepted: bool          # MAC verified on the modified entry
+    value_changed: bool     # and the decoded V differs
+    blocks_replaced: int
+
+    @property
+    def is_forgery(self) -> bool:
+        return self.accepted and self.value_changed
+
+
+def replaceable_blocks(value_length: int, block_size: int = 16) -> int:
+    """Blocks C_1..C_{s-1} (0-indexed 0..s-2) the adversary may replace.
+
+    s is the count of blocks containing only V bytes; the replacement
+    must stop one block before s so the rejoin block C_s is genuine.
+    """
+    fully_value_blocks = value_length // block_size
+    return max(fully_value_blocks - 1, 0)
+
+
+def forge_entry_via_mac_interaction(
+    index: IndexTable,
+    row_id: int,
+    value_length: int,
+    replacement: bytes = b"\xa5",
+    block_size: int = 16,
+) -> InteractionForgeryResult:
+    """Run the Sect. 3.3 forgery against one [12]-encoded index entry.
+
+    ``value_length`` is the adversary's (public) lower bound on |V|;
+    ``replacement`` seeds the arbitrary blocks C'_1..C'_{s-1}.
+    """
+    codec = index.codec
+    if not isinstance(codec, DBSec2005IndexCodec):
+        raise TypeError("this attack targets the [12] entry format")
+    row = index.row(row_id)
+    refs = row.refs(index.index_table_id)
+    original_payload = row.payload
+    original = codec.decode(original_payload, refs)
+
+    value_ct, row_ct, tag = codec.split_payload(original_payload)
+    blocks = split_blocks(value_ct, block_size)
+    count = replaceable_blocks(value_length, block_size)
+    if count == 0:
+        return InteractionForgeryResult(False, False, 0)
+    filler = (replacement * block_size)[:block_size]
+    for i in range(count):
+        # Arbitrary attacker-chosen blocks; vary per position so the
+        # forged plaintext provably differs from the original.
+        blocks[i] = bytes((b + i) % 256 for b in filler)
+    forged_value_ct = b"".join(blocks)
+    forged_payload = codec.join_payload(forged_value_ct, row_ct, tag)
+
+    index.tamper(row_id, forged_payload)
+    try:
+        mutated = codec.decode(index.raw_payload(row_id), refs)
+    except CryptoError:
+        return InteractionForgeryResult(False, False, count)
+    finally:
+        index.tamper(row_id, original_payload)
+    return InteractionForgeryResult(True, mutated != original, count)
+
+
+def evaluate_mac_interaction(
+    index: IndexTable,
+    value_length: int,
+    scheme: str,
+    block_size: int = 16,
+) -> AttackOutcome:
+    """Run the interaction forgery against every live entry."""
+    attempts = 0
+    forgeries = 0
+    rejected = 0
+    for row in list(index.raw_rows()):
+        if row.deleted:
+            continue
+        attempts += 1
+        result = forge_entry_via_mac_interaction(
+            index, row.row_id, value_length, block_size=block_size
+        )
+        if result.is_forgery:
+            forgeries += 1
+        elif not result.accepted:
+            rejected += 1
+    rate = forgeries / attempts if attempts else 0.0
+    return AttackOutcome(
+        attack="mac-interaction",
+        scheme=scheme,
+        succeeded=forgeries > 0,
+        detail=(
+            f"{forgeries}/{attempts} forged entries verified "
+            f"({rejected} rejected)"
+        ),
+        metrics={"attempts": attempts, "forgeries": forgeries, "rate": rate},
+    )

@@ -1,0 +1,57 @@
+"""The paper's schemes: cell encryption, index encryption, fixes, sessions."""
+
+from repro.core.access import (
+    AccessController,
+    ColumnKeyedCellScheme,
+    Grant,
+    UserCredential,
+)
+from repro.core.address import HashMu, KeyedMu, Mu, default_mu
+from repro.core.cellcrypto import (
+    AeadCellScheme,
+    AppendScheme,
+    XorScheme,
+    ascii_validator,
+    no_validator,
+)
+from repro.core.encrypted_db import (
+    EncryptedDatabase,
+    EncryptionConfig,
+    StorageView,
+)
+from repro.core.indexcrypto import (
+    AeadIndexCodec,
+    DBSec2005IndexCodec,
+    SDM2004IndexCodec,
+)
+from repro.core.keys import KeyRing
+from repro.core.rotation import RotationReport, rotate_master_key
+from repro.core.session import ClientSideTraversal, SecureSession, TraversalTrace
+
+__all__ = [
+    "AccessController",
+    "AeadCellScheme",
+    "AeadIndexCodec",
+    "AppendScheme",
+    "ClientSideTraversal",
+    "DBSec2005IndexCodec",
+    "EncryptedDatabase",
+    "ColumnKeyedCellScheme",
+    "EncryptionConfig",
+    "Grant",
+    "HashMu",
+    "KeyRing",
+    "KeyedMu",
+    "Mu",
+    "RotationReport",
+    "SDM2004IndexCodec",
+    "SecureSession",
+    "StorageView",
+    "TraversalTrace",
+    "UserCredential",
+    "XorScheme",
+    "ascii_validator",
+    "default_mu",
+    "no_validator",
+    "rotate_master_key",
+]

@@ -1,0 +1,21 @@
+"""Cell encryption schemes: [3]'s XOR and Append schemes, and the fix."""
+
+from repro.core.cellcrypto.aead_scheme import AeadCellScheme
+from repro.core.cellcrypto.append_scheme import AppendScheme
+from repro.core.cellcrypto.base import (
+    CellScheme,
+    Validator,
+    ascii_validator,
+    no_validator,
+)
+from repro.core.cellcrypto.xor_scheme import XorScheme
+
+__all__ = [
+    "AeadCellScheme",
+    "AppendScheme",
+    "CellScheme",
+    "Validator",
+    "XorScheme",
+    "ascii_validator",
+    "no_validator",
+]

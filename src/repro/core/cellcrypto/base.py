@@ -1,0 +1,38 @@
+"""Shared machinery for the cell encryption schemes.
+
+All three cell schemes (XOR, Append, AEAD-fixed) implement the engine's
+:class:`~repro.engine.database.CellCodec` protocol, so they drop into
+:class:`~repro.engine.database.Database` unchanged — the paper's
+structure-preservation property in code form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.database import CellCodec
+from repro.primitives.util import is_ascii
+
+#: A redundancy predicate: does a decrypted value look valid?
+#: The XOR-Scheme has no cryptographic integrity; [3] relies on
+#: "enough redundancy in the allowed type of data" to notice corruption,
+#: which is exactly what the Sect. 3.1 substitution attack defeats.
+Validator = Callable[[bytes], bool]
+
+
+def ascii_validator(data: bytes) -> bool:
+    """The Sect. 3.1 redundancy model: every octet in 0..127."""
+    return is_ascii(data)
+
+
+def no_validator(data: bytes) -> bool:
+    """Accept anything (no redundancy in the data type)."""
+    return True
+
+
+class CellScheme(CellCodec):
+    """Marker base class for the paper's cell encryption schemes."""
+
+    #: True when equal plaintexts at different addresses can produce
+    #: related ciphertexts (the property the Sect. 3 attacks exploit).
+    deterministic: bool

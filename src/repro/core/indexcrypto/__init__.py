@@ -1,0 +1,7 @@
+"""Index entry encryption schemes: [3], [12], and the AEAD fix."""
+
+from repro.core.indexcrypto.aead_index import AeadIndexCodec
+from repro.core.indexcrypto.dbsec2005 import DBSec2005IndexCodec
+from repro.core.indexcrypto.sdm2004 import SDM2004IndexCodec
+
+__all__ = ["AeadIndexCodec", "DBSec2005IndexCodec", "SDM2004IndexCodec"]

@@ -1,0 +1,119 @@
+"""Key rotation for encrypted databases.
+
+The paper's threat model (Sect. 2.1) hands session keys to the DBMS and
+wipes them afterwards; any long-lived deployment additionally needs to
+*retire* master keys — after suspected compromise, personnel change, or
+simply on schedule.  Rotation re-encrypts every sensitive cell and every
+index entry under a key ring derived from the new master key, in place,
+without changing row ids, index structure, or query results (the
+structure-preservation property extends to re-keying).
+
+Rotation is the one operation that legitimately needs both the old and
+the new keys simultaneously; it therefore lives in its own module rather
+than on :class:`~repro.core.encrypted_db.EncryptedDatabase`, keeping the
+facade single-keyed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encrypted_db import EncryptedDatabase
+from repro.core.keys import KeyRing
+from repro.engine.btree import BPlusTree
+from repro.engine.indextable import IndexTable
+from repro.primitives.rng import DeterministicRandom, RandomSource
+
+
+@dataclass(frozen=True)
+class RotationReport:
+    """What one rotation touched."""
+
+    cells_reencrypted: int
+    index_entries_reencrypted: int
+    tables: int
+    indexes: int
+
+
+def rotate_master_key(
+    db: EncryptedDatabase,
+    new_master_key: bytes,
+    rng: RandomSource | None = None,
+) -> RotationReport:
+    """Re-encrypt ``db`` in place under ``new_master_key``.
+
+    After return, ``db`` behaves as if it had been created with the new
+    key: its key ring, cell codec, and index codecs are replaced, old
+    ciphertexts are gone from storage, and the old master key no longer
+    decrypts anything.  The old key ring is wiped (Sect. 2.1 hygiene).
+    """
+    old_codec = db.cell_codec
+    old_keys = db.keys
+
+    # Stand up the new cryptographic material on the same configuration.
+    db.keys = KeyRing(new_master_key)
+    db._rng = rng if rng is not None else DeterministicRandom(new_master_key)
+    new_codec = db._build_cell_codec()
+
+    cells = 0
+    tables = 0
+    for table_name in db.table_names:
+        tables += 1
+        table = db.table(table_name)
+        sensitive_columns = [
+            position
+            for position, column in enumerate(table.schema.columns)
+            if column.sensitive
+        ]
+        for row_id, stored_cells in table.scan():
+            for position in sensitive_columns:
+                address = table.address(row_id, position)
+                plaintext = old_codec.decode_cell(stored_cells[position], address)
+                table.set_cell(row_id, position, new_codec.encode_cell(plaintext, address))
+                cells += 1
+    db._cell_codec = new_codec
+
+    entries = 0
+    indexes = 0
+    for index_name in db.index_names:
+        indexes += 1
+        entries += _rotate_index(db, index_name)
+
+    old_keys.wipe()
+    return RotationReport(cells, entries, tables, indexes)
+
+
+def _rotate_index(db: EncryptedDatabase, index_name: str) -> int:
+    """Swap an index structure's codec and re-encode every entry."""
+    info = db.index(index_name)
+    table = db.table(info.table)
+    column_pos = table.schema.column_index(info.column)
+    structure = info.structure
+    new_codec = db._build_index_codec(
+        structure.index_table_id, table.table_id, column_pos
+    )
+
+    count = 0
+    if isinstance(structure, IndexTable):
+        old_codec = structure.codec
+        for row in structure.raw_rows():
+            if row.deleted:
+                continue
+            refs = row.refs(structure.index_table_id)
+            key, table_row = old_codec.decode(row.payload, refs)
+            row.payload = new_codec.encode(key, table_row, refs)
+            count += 1
+        structure.codec = new_codec
+    elif isinstance(structure, BPlusTree):
+        old_codec = structure.codec
+        for node_id in sorted(structure._nodes):
+            node = structure.node(node_id)
+            for slot, entry in enumerate(node.entries):
+                refs = structure.entry_refs(node, slot)
+                key, table_row = old_codec.decode(entry.payload, refs)
+                entry.payload = new_codec.encode(key, table_row, refs)
+                count += 1
+        structure.codec = new_codec
+    else:  # pragma: no cover - no other structures exist
+        raise TypeError(f"unknown index structure {type(structure)!r}")
+    return count

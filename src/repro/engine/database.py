@@ -1,0 +1,358 @@
+"""The database engine: tables, indexes, and cell-codec plumbing.
+
+The same engine hosts the plaintext baseline and every encrypted
+configuration.  What varies is:
+
+* the **cell codec** — how a cell's encoded value is transformed before
+  it reaches storage (identity for the plain database; the [3] schemes
+  or the AEAD fix for the encrypted ones), and
+* the **index codec** — how index entries are stored ([3] eqs. 4–5,
+  [12] eq. 7, or the fixed eqs. 25–26).
+
+This mirrors the paper's structure-preservation property: encryption
+changes only cell contents and index-key payloads, never the shape of
+tables or indexes, so the engine code is oblivious to it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.btree import BPlusTree
+from repro.engine.codec import IndexEntryCodec, PlainEntryCodec
+from repro.engine.indextable import IndexTable
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.table import CellAddress, Table
+from repro.errors import NoSuchIndexError, NoSuchTableError, SchemaError
+
+
+class CellCodec(ABC):
+    """Transforms a cell's canonical encoding to/from its stored form."""
+
+    name: str
+
+    @abstractmethod
+    def encode_cell(self, plaintext: bytes, address: CellAddress) -> bytes:
+        """Stored form of a cell value at a given address."""
+
+    @abstractmethod
+    def decode_cell(self, stored: bytes, address: CellAddress) -> bytes:
+        """Recover the canonical encoding; verifies whatever the scheme
+        authenticates and raises on failure."""
+
+
+class PlainCellCodec(CellCodec):
+    """Identity codec: the unencrypted baseline."""
+
+    name = "plain"
+
+    def encode_cell(self, plaintext: bytes, address: CellAddress) -> bytes:
+        return plaintext
+
+    def decode_cell(self, stored: bytes, address: CellAddress) -> bytes:
+        return stored
+
+
+#: Builds a fresh index codec given (index_table_id, indexed_table_id,
+#: indexed_column_position) — everything Ref_S construction needs.
+IndexCodecFactory = Callable[[int, int, int], IndexEntryCodec]
+
+
+@dataclass
+class IndexInfo:
+    """Registry record of one secondary index."""
+
+    name: str
+    table: str
+    column: str
+    structure: IndexTable | BPlusTree
+
+
+class Database:
+    """Tables plus secondary indexes behind one typed API.
+
+    ``kind`` of an index selects the structure: ``"table"`` for the
+    binary table-representation of [3] (:class:`IndexTable`) or
+    ``"btree"`` for the d-ary B⁺-tree (:class:`BPlusTree`).
+    """
+
+    def __init__(
+        self,
+        cell_codec: CellCodec | None = None,
+        index_codec_factory: IndexCodecFactory | None = None,
+    ) -> None:
+        self._cell_codec = cell_codec if cell_codec is not None else PlainCellCodec()
+        self._index_codec_factory = index_codec_factory or (
+            lambda index_table_id, table_id, column_pos: PlainEntryCodec()
+        )
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, IndexInfo] = {}
+        self._indexes_by_column: dict[tuple[str, str], list[IndexInfo]] = {}
+        self._next_table_id = 1
+
+    # -- schema ---------------------------------------------------------------
+
+    @property
+    def cell_codec(self) -> CellCodec:
+        return self._cell_codec
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(self._next_table_id, schema)
+        self._next_table_id += 1
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTableError(f"no table named {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def create_index(
+        self, name: str, table_name: str, column_name: str, kind: str = "table",
+        order: int = 8,
+    ) -> IndexInfo:
+        """Create (and backfill) a secondary index on one column."""
+        if name in self._indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        index_table_id = self._next_table_id
+        self._next_table_id += 1
+        codec = self._index_codec_factory(index_table_id, table.table_id, column_pos)
+        structure: IndexTable | BPlusTree
+        if kind == "table":
+            structure = IndexTable(index_table_id, codec)
+        elif kind == "btree":
+            structure = BPlusTree(index_table_id, codec, order=order)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+
+        info = IndexInfo(name, table_name, column_name, structure)
+        pairs = [
+            (self._plain_cell(table, row_id, column_pos), row_id)
+            for row_id, _ in table.scan()
+        ]
+        structure.bulk_build(pairs)
+        self._indexes[name] = info
+        self._indexes_by_column.setdefault((table_name, column_name), []).append(info)
+        return info
+
+    def index(self, name: str) -> IndexInfo:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise NoSuchIndexError(f"no index named {name!r}") from None
+
+    @property
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def indexes_on(self, table_name: str, column_name: str) -> list[IndexInfo]:
+        return list(self._indexes_by_column.get((table_name, column_name), []))
+
+    # -- data manipulation -----------------------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> int:
+        """Insert a typed row; cells pass through the cell codec and every
+        index on the table is maintained."""
+        table = self.table(table_name)
+        plain_cells = table.schema.encode_row(values)
+        # Two-phase: allocate the row id first (addresses bind row ids),
+        # then encode each cell against its own final address.
+        row_id = table.insert_cells([b""] * len(plain_cells))
+        for column_pos, plain in enumerate(plain_cells):
+            address = table.address(row_id, column_pos)
+            stored = self._stored_form(table, column_pos, plain, address)
+            table.set_cell(row_id, column_pos, stored)
+        for info in self._table_indexes(table_name):
+            column_pos = table.schema.column_index(info.column)
+            info.structure.insert(plain_cells[column_pos], row_id)
+        return row_id
+
+    def get_row(self, table_name: str, row_id: int) -> list[Any]:
+        """Read one row back through the cell codec (verifying)."""
+        table = self.table(table_name)
+        cells = [
+            self._plain_cell(table, row_id, column_pos)
+            for column_pos in range(len(table.schema.columns))
+        ]
+        return table.schema.decode_row(cells)
+
+    def get_value(self, table_name: str, row_id: int, column_name: str) -> Any:
+        table = self.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        plain = self._plain_cell(table, row_id, column_pos)
+        return table.schema.columns[column_pos].decode(plain)
+
+    def get_cell_plaintext(
+        self, table_name: str, row_id: int, column_name: str
+    ) -> bytes:
+        """The cell's canonical byte encoding after codec verification.
+
+        This is the observable the authenticity goals of [3]/[12] are
+        about: whether the *encryption layer* accepts the stored bytes.
+        (Typed decoding on top may still reject garbled-but-accepted
+        plaintexts for incidental reasons like invalid UTF-8 — that is
+        data-type redundancy, not cryptographic integrity.)
+        """
+        table = self.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        return self._plain_cell(table, row_id, column_pos)
+
+    def update_value(
+        self, table_name: str, row_id: int, column_name: str, value: Any
+    ) -> None:
+        table = self.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        column = table.schema.columns[column_pos]
+        old_plain = self._plain_cell(table, row_id, column_pos)
+        new_plain = column.encode(value)
+        address = table.address(row_id, column_pos)
+        table.set_cell(
+            row_id, column_pos, self._stored_form(table, column_pos, new_plain, address)
+        )
+        for info in self.indexes_on(table_name, column_name):
+            info.structure.delete(old_plain, row_id)
+            info.structure.insert(new_plain, row_id)
+
+    def delete_row(self, table_name: str, row_id: int) -> None:
+        table = self.table(table_name)
+        for info in self._table_indexes(table_name):
+            column_pos = table.schema.column_index(info.column)
+            plain = self._plain_cell(table, row_id, column_pos)
+            info.structure.delete(plain, row_id)
+        table.delete_row(row_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    def select_equals(
+        self, table_name: str, column_name: str, value: Any
+    ) -> list[tuple[int, list[Any]]]:
+        """Point query; uses an index when one exists, else a verified scan."""
+        table = self.table(table_name)
+        column = table.schema.column(column_name)
+        key = column.encode(value)
+        indexes = self.indexes_on(table_name, column_name)
+        if indexes:
+            row_ids = indexes[0].structure.search(key)
+            return [(row_id, self.get_row(table_name, row_id)) for row_id in row_ids]
+        return self._scan_filter(table_name, column_name, lambda cell: cell == key)
+
+    def select_range(
+        self, table_name: str, column_name: str, low: Any, high: Any
+    ) -> list[tuple[int, list[Any]]]:
+        """Range query (inclusive); index-backed when possible."""
+        table = self.table(table_name)
+        column = table.schema.column(column_name)
+        low_key, high_key = column.encode(low), column.encode(high)
+        indexes = self.indexes_on(table_name, column_name)
+        if indexes:
+            hits = indexes[0].structure.range_search(low_key, high_key)
+            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
+        return self._scan_filter(
+            table_name, column_name, lambda cell: low_key <= cell <= high_key
+        )
+
+    def select_prefix(
+        self, table_name: str, column_name: str, prefix: str
+    ) -> list[tuple[int, list[Any]]]:
+        """Prefix query on a TEXT column (``LIKE 'prefix%'``).
+
+        Implemented as the byte range [prefix, prefix ∥ 0xFF…]: the
+        schema's order-preserving encoding makes every string with the
+        prefix fall inside it.  Index-backed when possible.
+        """
+        from repro.engine.schema import ColumnType
+
+        table = self.table(table_name)
+        column = table.schema.column(column_name)
+        if column.type is not ColumnType.TEXT:
+            raise SchemaError("prefix queries require a TEXT column")
+        low_key = prefix.encode("utf-8")
+        high_key = low_key + b"\xff" * 8
+        indexes = self.indexes_on(table_name, column_name)
+        if indexes:
+            hits = indexes[0].structure.range_search(low_key, high_key)
+            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
+        return self._scan_filter(
+            table_name, column_name, lambda cell: cell.startswith(low_key)
+        )
+
+    def select_at_least(
+        self, table_name: str, column_name: str, low: Any
+    ) -> list[tuple[int, list[Any]]]:
+        """Open-ended range query: ``column >= low``."""
+        table = self.table(table_name)
+        column = table.schema.column(column_name)
+        low_key = column.encode(low)
+        high_key = b"\xff" * max(len(low_key) + 8, 16)
+        indexes = self.indexes_on(table_name, column_name)
+        if indexes:
+            hits = indexes[0].structure.range_search(low_key, high_key)
+            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
+        return self._scan_filter(
+            table_name, column_name, lambda cell: cell >= low_key
+        )
+
+    def select_at_most(
+        self, table_name: str, column_name: str, high: Any
+    ) -> list[tuple[int, list[Any]]]:
+        """Open-ended range query: ``column <= high``."""
+        table = self.table(table_name)
+        column = table.schema.column(column_name)
+        high_key = column.encode(high)
+        indexes = self.indexes_on(table_name, column_name)
+        if indexes:
+            hits = indexes[0].structure.range_search(b"", high_key)
+            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
+        return self._scan_filter(
+            table_name, column_name, lambda cell: cell <= high_key
+        )
+
+    def scan(self, table_name: str) -> Iterator[tuple[int, list[Any]]]:
+        """Full decoded scan of a table."""
+        table = self.table(table_name)
+        for row_id, _ in table.scan():
+            yield row_id, self.get_row(table_name, row_id)
+
+    def count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _table_indexes(self, table_name: str) -> list[IndexInfo]:
+        return [info for info in self._indexes.values() if info.table == table_name]
+
+    def _stored_form(
+        self, table: Table, column_pos: int, plain: bytes, address: CellAddress
+    ) -> bytes:
+        if table.schema.columns[column_pos].sensitive:
+            return self._cell_codec.encode_cell(plain, address)
+        return plain
+
+    def _plain_cell(self, table: Table, row_id: int, column_pos: int) -> bytes:
+        stored = table.get_cell(row_id, column_pos)
+        if table.schema.columns[column_pos].sensitive:
+            address = table.address(row_id, column_pos)
+            return self._cell_codec.decode_cell(stored, address)
+        return stored
+
+    def _scan_filter(
+        self, table_name: str, column_name: str, predicate: Callable[[bytes], bool]
+    ) -> list[tuple[int, list[Any]]]:
+        table = self.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        out = []
+        for row_id, _ in table.scan():
+            if predicate(self._plain_cell(table, row_id, column_pos)):
+                out.append((row_id, self.get_row(table_name, row_id)))
+        return out

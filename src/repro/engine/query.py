@@ -1,0 +1,155 @@
+"""A small declarative query layer over :class:`~repro.engine.database.Database`.
+
+The paper's threat model (Sect. 2.1) requires that the server "can
+efficiently execute queries on the database using the encrypted indexes"
+and that "no data is returned that does not belong to the answer".
+These query objects are what the benchmarks and examples execute against
+both the plaintext baseline and every encrypted configuration, so the
+two claims can be checked like-for-like.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.database import Database
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows matching a query, plus how they were found."""
+
+    rows: tuple[tuple[int, tuple[Any, ...]], ...]
+    used_index: bool
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def row_ids(self) -> list[int]:
+        return [row_id for row_id, _ in self.rows]
+
+    def values(self, position: int) -> list[Any]:
+        return [row[position] for _, row in self.rows]
+
+
+class Query(ABC):
+    """A query that can be executed against any Database."""
+
+    table: str
+
+    @abstractmethod
+    def execute(self, db: Database) -> QueryResult:
+        """Run the query, preferring an index when one applies."""
+
+
+def _freeze(
+    rows: Sequence[tuple[int, Sequence[Any]]], used_index: bool
+) -> QueryResult:
+    return QueryResult(
+        rows=tuple((row_id, tuple(values)) for row_id, values in rows),
+        used_index=used_index,
+    )
+
+
+@dataclass(frozen=True)
+class PointQuery(Query):
+    """``SELECT * FROM table WHERE column = value``."""
+
+    table: str
+    column: str
+    value: Any
+
+    def execute(self, db: Database) -> QueryResult:
+        used_index = bool(db.indexes_on(self.table, self.column))
+        rows = db.select_equals(self.table, self.column, self.value)
+        return _freeze(rows, used_index)
+
+
+@dataclass(frozen=True)
+class RangeQuery(Query):
+    """``SELECT * FROM table WHERE low <= column <= high``."""
+
+    table: str
+    column: str
+    low: Any
+    high: Any
+
+    def execute(self, db: Database) -> QueryResult:
+        used_index = bool(db.indexes_on(self.table, self.column))
+        rows = db.select_range(self.table, self.column, self.low, self.high)
+        return _freeze(rows, used_index)
+
+
+@dataclass(frozen=True)
+class PrefixQuery(Query):
+    """``SELECT * FROM table WHERE column LIKE 'prefix%'`` (TEXT only)."""
+
+    table: str
+    column: str
+    prefix: str
+
+    def execute(self, db: Database) -> QueryResult:
+        used_index = bool(db.indexes_on(self.table, self.column))
+        rows = db.select_prefix(self.table, self.column, self.prefix)
+        return _freeze(rows, used_index)
+
+
+@dataclass(frozen=True)
+class AtLeastQuery(Query):
+    """``SELECT * FROM table WHERE column >= low``."""
+
+    table: str
+    column: str
+    low: Any
+
+    def execute(self, db: Database) -> QueryResult:
+        used_index = bool(db.indexes_on(self.table, self.column))
+        rows = db.select_at_least(self.table, self.column, self.low)
+        return _freeze(rows, used_index)
+
+
+@dataclass(frozen=True)
+class AtMostQuery(Query):
+    """``SELECT * FROM table WHERE column <= high``."""
+
+    table: str
+    column: str
+    high: Any
+
+    def execute(self, db: Database) -> QueryResult:
+        used_index = bool(db.indexes_on(self.table, self.column))
+        rows = db.select_at_most(self.table, self.column, self.high)
+        return _freeze(rows, used_index)
+
+
+@dataclass(frozen=True)
+class ScanQuery(Query):
+    """Full-table scan with an optional row predicate on decoded values."""
+
+    table: str
+    predicate: Callable[[Sequence[Any]], bool] | None = None
+
+    def execute(self, db: Database) -> QueryResult:
+        rows = [
+            (row_id, values)
+            for row_id, values in db.scan(self.table)
+            if self.predicate is None or self.predicate(values)
+        ]
+        return _freeze(rows, used_index=False)
+
+
+@dataclass(frozen=True)
+class CountQuery(Query):
+    """``SELECT COUNT(*) FROM table`` (returns a single-cell result)."""
+
+    table: str
+
+    def execute(self, db: Database) -> QueryResult:
+        return _freeze([(0, [db.count(self.table)])], used_index=False)
+
+
+def run_all(db: Database, queries: Sequence[Query]) -> list[QueryResult]:
+    """Execute a batch of queries in order (workload driver helper)."""
+    return [query.execute(db) for query in queries]

@@ -1,0 +1,134 @@
+"""Table schemas and typed value encoding.
+
+The encryption schemes of [3]/[12] operate on the *byte representation*
+of attribute values V; this module defines that representation.  The
+encoding is order-preserving for INT and TEXT so that B⁺-tree indexes
+over encoded bytes order rows exactly like the typed values — a property
+the range-query benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.errors import SchemaError
+
+_INT_BIAS = 1 << 63  # shifts signed 64-bit ints to an unsigned, sortable range
+
+
+class ColumnType(Enum):
+    """Supported attribute types."""
+
+    INT = "int"
+    TEXT = "text"
+    BYTES = "bytes"
+    BOOL = "bool"
+
+    def encode(self, value: Any) -> bytes:
+        """Serialise a typed value to its canonical byte representation."""
+        if self is ColumnType.INT:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(f"expected int, got {type(value).__name__}")
+            if not -_INT_BIAS <= value < _INT_BIAS:
+                raise SchemaError("integer out of 64-bit range")
+            return (value + _INT_BIAS).to_bytes(8, "big")
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected str, got {type(value).__name__}")
+            return value.encode("utf-8")
+        if self is ColumnType.BYTES:
+            if not isinstance(value, (bytes, bytearray)):
+                raise SchemaError(f"expected bytes, got {type(value).__name__}")
+            return bytes(value)
+        if self is ColumnType.BOOL:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected bool, got {type(value).__name__}")
+            return b"\x01" if value else b"\x00"
+        raise SchemaError(f"unhandled column type {self}")
+
+    def decode(self, data: bytes) -> Any:
+        """Invert :meth:`encode`."""
+        if self is ColumnType.INT:
+            if len(data) != 8:
+                raise SchemaError("INT cells are 8 bytes")
+            return int.from_bytes(data, "big") - _INT_BIAS
+        if self is ColumnType.TEXT:
+            return data.decode("utf-8")
+        if self is ColumnType.BYTES:
+            return bytes(data)
+        if self is ColumnType.BOOL:
+            if data not in (b"\x00", b"\x01"):
+                raise SchemaError("BOOL cells are a single 0/1 byte")
+            return data == b"\x01"
+        raise SchemaError(f"unhandled column type {self}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column.
+
+    ``sensitive`` marks columns the encryption layer must protect; the
+    schemes of [3]/[12] are "flexible with respect to which columns to
+    protect or leave in clear" (paper Sect. 1), and this flag is how a
+    schema expresses that choice.
+    """
+
+    name: str
+    type: ColumnType
+    sensitive: bool = True
+
+    def encode(self, value: Any) -> bytes:
+        try:
+            return self.type.encode(value)
+        except SchemaError as exc:
+            raise SchemaError(f"column {self.name!r}: {exc}") from None
+
+    def decode(self, data: bytes) -> Any:
+        return self.type.decode(data)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered set of columns under a table name."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of a column — the ``c`` of the cell address (t, r, c)."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def encode_row(self, values: Sequence[Any]) -> list[bytes]:
+        """Encode one value per column, in schema order."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return [column.encode(value) for column, value in zip(self.columns, values)]
+
+    def decode_row(self, cells: Sequence[bytes]) -> list[Any]:
+        if len(cells) != len(self.columns):
+            raise SchemaError("cell count does not match schema")
+        return [column.decode(cell) for column, cell in zip(self.columns, cells)]

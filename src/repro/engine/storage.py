@@ -1,0 +1,253 @@
+"""Byte-level storage image of a database.
+
+This is the paper's "untrusted storage": "anyone with physical access to
+the machine or storage system holding the actual data can copy or modify
+it" (Sect. 1).  The image contains exactly what such an adversary sees —
+stored cell payloads, plaintext index structure, encrypted index
+payloads — and can be re-loaded (possibly after tampering) to model an
+offline attack.
+
+The format is a simple deterministic length-prefixed record stream; the
+codecs (and therefore keys) are *not* part of the image — loading
+requires supplying them again, mirroring the key handover of Sect. 2.1.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from repro.engine.btree import BEntry, BNode, BPlusTree
+from repro.engine.database import Database, IndexCodecFactory, CellCodec
+from repro.engine.indextable import IndexRow, IndexTable
+from repro.engine.schema import Column, ColumnType, TableSchema
+
+_MAGIC = b"REPRODB1"
+
+
+def _write_bytes(out: io.BytesIO, data: bytes) -> None:
+    out.write(struct.pack(">I", len(data)))
+    out.write(data)
+
+
+def _write_int(out: io.BytesIO, value: int) -> None:
+    out.write(struct.pack(">q", value))
+
+
+def _write_text(out: io.BytesIO, text: str) -> None:
+    _write_bytes(out, text.encode("utf-8"))
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._view = memoryview(data)
+        self._offset = 0
+
+    def read_bytes(self) -> bytes:
+        (length,) = struct.unpack_from(">I", self._view, self._offset)
+        self._offset += 4
+        data = bytes(self._view[self._offset:self._offset + length])
+        if len(data) != length:
+            raise ValueError("truncated storage image")
+        self._offset += length
+        return data
+
+    def read_int(self) -> int:
+        (value,) = struct.unpack_from(">q", self._view, self._offset)
+        self._offset += 8
+        return value
+
+    def read_text(self) -> str:
+        return self.read_bytes().decode("utf-8")
+
+    def expect(self, tag: bytes) -> None:
+        got = bytes(self._view[self._offset:self._offset + len(tag)])
+        if got != tag:
+            raise ValueError(f"bad storage image: expected {tag!r}, got {got!r}")
+        self._offset += len(tag)
+
+
+def dump_database(db: Database) -> bytes:
+    """Serialise every table and index to a storage image."""
+    out = io.BytesIO()
+    out.write(_MAGIC)
+
+    _write_int(out, len(db.table_names))
+    for name in db.table_names:
+        table = db.table(name)
+        _write_text(out, name)
+        _write_int(out, table.table_id)
+        _write_int(out, len(table.schema.columns))
+        for column in table.schema.columns:
+            _write_text(out, column.name)
+            _write_text(out, column.type.value)
+            _write_int(out, 1 if column.sensitive else 0)
+        rows = list(table.scan())
+        _write_int(out, table._next_row)
+        _write_int(out, len(rows))
+        for row_id, cells in rows:
+            _write_int(out, row_id)
+            for cell in cells:
+                _write_bytes(out, cell)
+
+    _write_int(out, len(db.index_names))
+    for name in db.index_names:
+        info = db.index(name)
+        _write_text(out, name)
+        _write_text(out, info.table)
+        _write_text(out, info.column)
+        structure = info.structure
+        if isinstance(structure, IndexTable):
+            _write_text(out, "table")
+            _dump_index_table(out, structure)
+        else:
+            _write_text(out, "btree")
+            _dump_btree(out, structure)
+    return out.getvalue()
+
+
+def _dump_index_table(out: io.BytesIO, index: IndexTable) -> None:
+    _write_int(out, index.index_table_id)
+    _write_int(out, index.root_id)
+    _write_int(out, index._next_row)
+    rows = list(index.raw_rows())
+    _write_int(out, len(rows))
+    for row in rows:
+        _write_int(out, row.row_id)
+        _write_int(out, 1 if row.is_leaf else 0)
+        _write_int(out, row.left)
+        _write_int(out, row.right)
+        _write_int(out, row.sibling)
+        _write_int(out, 1 if row.deleted else 0)
+        _write_bytes(out, row.payload)
+
+
+def _dump_btree(out: io.BytesIO, tree: BPlusTree) -> None:
+    _write_int(out, tree.index_table_id)
+    _write_int(out, tree.order)
+    _write_int(out, tree.root_id)
+    _write_int(out, tree._next_node)
+    _write_int(out, tree._next_entry_row)
+    nodes = [tree.node(node_id) for node_id in sorted(tree._nodes)]
+    _write_int(out, len(nodes))
+    for node in nodes:
+        _write_int(out, node.node_id)
+        _write_int(out, 1 if node.is_leaf else 0)
+        _write_int(out, node.next_leaf)
+        _write_int(out, len(node.children))
+        for child in node.children:
+            _write_int(out, child)
+        _write_int(out, len(node.entries))
+        for entry in node.entries:
+            _write_int(out, entry.row_id)
+            _write_bytes(out, entry.payload)
+
+
+def load_database(
+    image: bytes,
+    cell_codec: CellCodec | None = None,
+    index_codec_factory: IndexCodecFactory | None = None,
+) -> Database:
+    """Reconstruct a database from a storage image.
+
+    The codecs (i.e. the keys) must be supplied by the caller; the image
+    itself contains only what untrusted storage holds.
+    """
+    reader = _Reader(image)
+    reader.expect(_MAGIC)
+    db = Database(cell_codec=cell_codec, index_codec_factory=index_codec_factory)
+
+    table_count = reader.read_int()
+    for _ in range(table_count):
+        name = reader.read_text()
+        table_id = reader.read_int()
+        column_count = reader.read_int()
+        columns = []
+        for _ in range(column_count):
+            column_name = reader.read_text()
+            column_type = ColumnType(reader.read_text())
+            sensitive = reader.read_int() == 1
+            columns.append(Column(column_name, column_type, sensitive))
+        table = db.create_table(TableSchema(name, columns))
+        table.table_id = table_id
+        next_row = reader.read_int()
+        row_count = reader.read_int()
+        for _ in range(row_count):
+            row_id = reader.read_int()
+            cells = [reader.read_bytes() for _ in range(column_count)]
+            table._rows[row_id] = cells
+        table._next_row = next_row
+    db._next_table_id = max(
+        (db.table(name).table_id for name in db.table_names), default=0
+    ) + 1
+
+    index_count = reader.read_int()
+    for _ in range(index_count):
+        name = reader.read_text()
+        table_name = reader.read_text()
+        column_name = reader.read_text()
+        kind = reader.read_text()
+        table = db.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        if kind == "table":
+            structure = _load_index_table(reader, db, table.table_id, column_pos)
+        else:
+            structure = _load_btree(reader, db, table.table_id, column_pos)
+        from repro.engine.database import IndexInfo
+
+        info = IndexInfo(name, table_name, column_name, structure)
+        db._indexes[name] = info
+        db._indexes_by_column.setdefault((table_name, column_name), []).append(info)
+        db._next_table_id = max(db._next_table_id, structure.index_table_id + 1)
+    return db
+
+
+def _load_index_table(
+    reader: _Reader, db: Database, table_id: int, column_pos: int
+) -> IndexTable:
+    index_table_id = reader.read_int()
+    codec = db._index_codec_factory(index_table_id, table_id, column_pos)
+    index = IndexTable(index_table_id, codec)
+    index._root = reader.read_int()
+    next_row = reader.read_int()
+    row_count = reader.read_int()
+    for _ in range(row_count):
+        row = IndexRow(
+            row_id=reader.read_int(),
+            is_leaf=reader.read_int() == 1,
+            payload=b"",
+        )
+        row.left = reader.read_int()
+        row.right = reader.read_int()
+        row.sibling = reader.read_int()
+        row.deleted = reader.read_int() == 1
+        row.payload = reader.read_bytes()
+        index._rows[row.row_id] = row
+    index._next_row = next_row
+    return index
+
+
+def _load_btree(
+    reader: _Reader, db: Database, table_id: int, column_pos: int
+) -> BPlusTree:
+    index_table_id = reader.read_int()
+    order = reader.read_int()
+    codec = db._index_codec_factory(index_table_id, table_id, column_pos)
+    tree = BPlusTree(index_table_id, codec, order)
+    tree._nodes.clear()
+    tree._root = reader.read_int()
+    tree._next_node = reader.read_int()
+    tree._next_entry_row = reader.read_int()
+    node_count = reader.read_int()
+    for _ in range(node_count):
+        node = BNode(node_id=reader.read_int(), is_leaf=reader.read_int() == 1)
+        node.next_leaf = reader.read_int()
+        child_count = reader.read_int()
+        node.children = [reader.read_int() for _ in range(child_count)]
+        entry_count = reader.read_int()
+        node.entries = [
+            BEntry(reader.read_int(), reader.read_bytes())
+            for _ in range(entry_count)
+        ]
+        tree._nodes[node.node_id] = node
+    return tree

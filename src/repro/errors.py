@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro package.
+
+The paper's decryption contract (eq. 22) returns ``invalid`` whenever the
+key is wrong, the cell address is wrong, or the nonce, ciphertext, or tag
+have been tampered with — without distinguishing the cases.  We model
+``invalid`` as :class:`AuthenticationError`, so callers cannot accidentally
+branch on *why* verification failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CryptoError(ReproError):
+    """Base class for errors raised by cryptographic components."""
+
+
+class KeyLengthError(CryptoError):
+    """A key of unsupported length was supplied to a primitive."""
+
+
+class BlockSizeError(CryptoError):
+    """Data whose length is not compatible with the cipher block size."""
+
+
+class PaddingError(CryptoError):
+    """Padding bytes were structurally invalid during unpadding.
+
+    Note: in the fixed schemes padding errors are *never* surfaced directly;
+    AEAD verification fails first, preventing padding-oracle side channels.
+    """
+
+
+class NonceError(CryptoError):
+    """A nonce was missing, malformed, or illegally reused."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext, tag, nonce, or associated data failed verification.
+
+    Corresponds to the opaque ``invalid`` result of eq. (22) in the paper.
+    """
+
+
+class DecryptionError(CryptoError):
+    """Decryption could not produce a plaintext (non-authentication cause)."""
+
+
+class EngineError(ReproError):
+    """Base class for database-engine errors."""
+
+
+class SchemaError(EngineError):
+    """A table schema was violated (unknown column, type mismatch, ...)."""
+
+
+class NoSuchTableError(EngineError):
+    """A referenced table does not exist in the database."""
+
+
+class NoSuchRowError(EngineError):
+    """A referenced row does not exist in its table."""
+
+
+class NoSuchIndexError(EngineError):
+    """A referenced index does not exist."""
+
+
+class IndexCorruptionError(EngineError):
+    """An index invariant was violated (detected tampering or bugs)."""
+
+
+class SessionError(ReproError):
+    """The trusted-session key-handover protocol was misused."""
+
+
+class AttackFailedError(ReproError):
+    """An attack primitive could not complete (used by the attack framework
+    to distinguish 'scheme resisted' from 'attack code is broken')."""

@@ -1,0 +1,9 @@
+"""Message authentication codes: raw CBC-MAC, OMAC1/CMAC, PMAC, HMAC."""
+
+from repro.mac.base import MAC
+from repro.mac.cbcmac import CBCMAC
+from repro.mac.hmac_mac import HMACMAC
+from repro.mac.omac import OMAC
+from repro.mac.pmac import PMAC
+
+__all__ = ["CBCMAC", "HMACMAC", "MAC", "OMAC", "PMAC"]

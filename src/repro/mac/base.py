@@ -1,0 +1,30 @@
+"""Message-authentication-code interface.
+
+The scheme of [12] (paper eq. 7) attaches
+``MAC_k(V_trc ∥ Ref_I ∥ Ref_T ∥ Ref_S)`` to each index entry.  Sect. 3.3
+shows that which MAC is chosen — and whether it shares the encryption
+key — decides whether the scheme is secure, so MACs are first-class
+objects here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.primitives.util import constant_time_equal
+
+
+class MAC(ABC):
+    """A deterministic keyed tagging function."""
+
+    name: str
+    #: Tag length in bytes.
+    tag_size: int
+
+    @abstractmethod
+    def tag(self, message: bytes) -> bytes:
+        """Compute the authentication tag of ``message``."""
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time tag check."""
+        return constant_time_equal(self.tag(message), tag)

@@ -1,0 +1,61 @@
+"""Raw CBC-MAC.
+
+"The essential point about CBC-MAC is that it works basically the same
+way as CBC mode encryption ..., but the intermediate ciphertexts are not
+made public, only the final one is used as authentication tag"
+(paper, Sect. 3.3).  That identity of internals is exactly what the
+encrypt-and-MAC interaction attack exploits when the same key is used
+for CBC encryption and the MAC.
+
+Raw CBC-MAC is only secure for fixed-length messages; OMAC (q.v.) is the
+variable-length-secure variant the paper names.  We keep the raw version
+because the attack analysis needs access to the chaining values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BlockSizeError
+from repro.mac.base import MAC
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.padding import PKCS7, PaddingScheme
+from repro.primitives.util import iter_blocks, xor_bytes_strict
+
+
+class CBCMAC(MAC):
+    """Plain CBC-MAC with zero IV over padded input."""
+
+    name = "cbc-mac"
+
+    def __init__(
+        self, cipher: BlockCipher, padding: PaddingScheme = PKCS7
+    ) -> None:
+        self._cipher = cipher
+        self._padding = padding
+        self.tag_size = cipher.block_size
+
+    @property
+    def block_size(self) -> int:
+        return self._cipher.block_size
+
+    def chaining_values(self, padded_message: bytes) -> list[bytes]:
+        """All intermediate CBC chaining values y_1 .. y_m.
+
+        With a zero IV and the *same key* as a zero-IV CBC encryption,
+        these coincide with that encryption's ciphertext blocks — the
+        coincidence at the heart of the Sect. 3.3 forgery.
+        """
+        if len(padded_message) % self.block_size:
+            raise BlockSizeError("chaining_values needs block-aligned input")
+        state = bytes(self.block_size)
+        values = []
+        for block in iter_blocks(padded_message, self.block_size):
+            state = self._cipher.encrypt_block(xor_bytes_strict(block, state))
+            values.append(state)
+        return values
+
+    def tag(self, message: bytes) -> bytes:
+        padded = self._padding.pad(message, self.block_size)
+        values = self.chaining_values(padded)
+        return values[-1] if values else self._cipher.encrypt_block(
+            bytes(self.block_size)
+        )

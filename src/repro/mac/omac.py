@@ -1,0 +1,70 @@
+"""OMAC1 / CMAC (Iwata–Kurosawa, paper reference [5]; RFC 4493).
+
+Sect. 3.3 of the paper instantiates the MAC of [12] "with a CBC-MAC
+variant like OMAC [5] that itself is secure for variable-length inputs"
+and shows the combination with same-key zero-IV CBC encryption still
+loses authenticity.  "The details where OMAC deviates from this rough
+description are irrelevant for the attack" — but we implement the real
+thing (OMAC1 = CMAC), validated against the RFC 4493 vectors.
+"""
+
+from __future__ import annotations
+
+from repro.mac.base import MAC
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.util import gf_double, iter_blocks, xor_bytes_strict
+
+
+class OMAC(MAC):
+    """OMAC1 (CMAC): CBC-MAC with derived final-block masks K1/K2."""
+
+    name = "omac1"
+
+    def __init__(self, cipher: BlockCipher, tag_size: int | None = None) -> None:
+        self._cipher = cipher
+        block = cipher.block_size
+        self.tag_size = tag_size if tag_size is not None else block
+        if not 1 <= self.tag_size <= block:
+            raise ValueError("tag size must be between 1 and the block size")
+        l_value = cipher.encrypt_block(bytes(block))
+        self._k1 = gf_double(l_value)
+        self._k2 = gf_double(self._k1)
+
+    @property
+    def block_size(self) -> int:
+        return self._cipher.block_size
+
+    def chaining_values(self, message: bytes) -> list[bytes]:
+        """Intermediate chaining values *before* the final tweaked block.
+
+        Exposed for the Sect. 3.3 analysis: for a message whose first s
+        blocks equal the first s plaintext blocks of a same-key zero-IV
+        CBC encryption, these values equal that encryption's ciphertext
+        blocks C_1 .. C_s (provided s < number of OMAC blocks, so the
+        final-block tweak has not been applied yet).
+        """
+        block = self.block_size
+        full_blocks = max((len(message) - 1) // block, 0)
+        state = bytes(block)
+        values = []
+        for chunk in iter_blocks(message[: full_blocks * block], block):
+            state = self._cipher.encrypt_block(xor_bytes_strict(chunk, state))
+            values.append(state)
+        return values
+
+    def tag(self, message: bytes) -> bytes:
+        block = self.block_size
+        if message and len(message) % block == 0:
+            body, last = message[:-block], message[-block:]
+            final = xor_bytes_strict(last, self._k1)
+        else:
+            remainder = message[(len(message) // block) * block:]
+            body = message[: len(message) - len(remainder)]
+            padded = remainder + b"\x80" + bytes(block - len(remainder) - 1)
+            final = xor_bytes_strict(padded, self._k2)
+
+        state = bytes(block)
+        for chunk in iter_blocks(body, block):
+            state = self._cipher.encrypt_block(xor_bytes_strict(chunk, state))
+        state = self._cipher.encrypt_block(xor_bytes_strict(final, state))
+        return state[: self.tag_size]

@@ -1,0 +1,36 @@
+"""Block-cipher modes of operation with pluggable IV policies.
+
+The default policy everywhere is :class:`ZeroIV`, because that is the
+instantiation of the deterministic encryption function E the paper
+builds its counter-examples from (Sect. 3).  Pass
+:class:`RandomIV` for the conventional randomised variants used in the
+ablation benchmarks.
+"""
+
+from repro.modes.base import (
+    CipherMode,
+    CounterIV,
+    FixedIV,
+    IVPolicy,
+    RandomIV,
+    ZeroIV,
+)
+from repro.modes.cbc import CBC
+from repro.modes.cfb import CFB
+from repro.modes.ctr import CTR
+from repro.modes.ecb import ECB
+from repro.modes.ofb import OFB
+
+__all__ = [
+    "CBC",
+    "CFB",
+    "CTR",
+    "CipherMode",
+    "CounterIV",
+    "ECB",
+    "FixedIV",
+    "IVPolicy",
+    "OFB",
+    "RandomIV",
+    "ZeroIV",
+]

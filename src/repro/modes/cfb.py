@@ -1,0 +1,52 @@
+"""Cipher feedback mode (full-block CFB, NIST SP 800-38A).
+
+Provided for completeness of the modes catalogue the paper references
+via [2] (NIST SP 800-38A); CFB under a deterministic IV leaks equal
+plaintext prefixes block-for-block, just like CBC.
+"""
+
+from __future__ import annotations
+
+from repro.modes.base import CipherMode, IVPolicy, ZeroIV
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.padding import STREAM, PaddingScheme
+from repro.primitives.util import iter_blocks, xor_bytes
+
+
+class CFB(CipherMode):
+    """Full-block CFB mode; stream-like, so no padding needed by default."""
+
+    name = "cfb"
+
+    def __init__(
+        self,
+        cipher: BlockCipher,
+        iv_policy: IVPolicy | None = None,
+        padding: PaddingScheme = STREAM,
+        embed_iv: bool | None = None,
+    ) -> None:
+        if iv_policy is None:
+            iv_policy = ZeroIV()
+        super().__init__(cipher, iv_policy, padding, embed_iv)
+
+    def encrypt_blocks(self, padded_plaintext: bytes, iv: bytes) -> bytes:
+        feedback = iv
+        out = bytearray()
+        for block in iter_blocks(padded_plaintext, self.block_size):
+            mask = self._cipher.encrypt_block(feedback)
+            cipher_block = xor_bytes(block, mask[:len(block)])
+            out += cipher_block
+            feedback = cipher_block if len(cipher_block) == self.block_size else feedback
+        return bytes(out)
+
+    def decrypt_blocks(self, ciphertext: bytes, iv: bytes) -> bytes:
+        feedback = iv
+        out = bytearray()
+        for block in iter_blocks(ciphertext, self.block_size):
+            mask = self._cipher.encrypt_block(feedback)
+            out += xor_bytes(block, mask[:len(block)])
+            feedback = block if len(block) == self.block_size else feedback
+        return bytes(out)
+
+    def _check_aligned(self, data: bytes) -> None:
+        return

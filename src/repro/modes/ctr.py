@@ -1,0 +1,56 @@
+"""Counter mode (NIST SP 800-38A).
+
+Footnote 2 of the paper: "Stream ciphers and streaming modes for
+blockciphers like OFB or counter mode would be insecure due to the reuse
+of the same key-stream resulting from the assumed determinism (3)."
+We implement CTR so benchmark X2 can demonstrate that break concretely:
+under a deterministic (zero) IV, ``C ⊕ C' = P ⊕ P'``.
+"""
+
+from __future__ import annotations
+
+from repro.modes.base import CipherMode, IVPolicy, ZeroIV
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.padding import STREAM, PaddingScheme
+from repro.primitives.util import bytes_to_int, int_to_bytes, xor_bytes_strict
+
+
+class CTR(CipherMode):
+    """CTR mode; a stream mode, so no padding is required by default."""
+
+    name = "ctr"
+
+    def __init__(
+        self,
+        cipher: BlockCipher,
+        iv_policy: IVPolicy | None = None,
+        padding: PaddingScheme = STREAM,
+        embed_iv: bool | None = None,
+    ) -> None:
+        if iv_policy is None:
+            iv_policy = ZeroIV()
+        super().__init__(cipher, iv_policy, padding, embed_iv)
+
+    def keystream(self, iv: bytes, length: int) -> bytes:
+        """The raw keystream for a given counter start — exposed so the
+        footnote-2 attack can show two messages consumed the same one."""
+        out = bytearray()
+        counter = bytes_to_int(iv)
+        modulus = 256 ** self.block_size
+        while len(out) < length:
+            out += self._cipher.encrypt_block(
+                int_to_bytes(counter % modulus, self.block_size)
+            )
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt_blocks(self, padded_plaintext: bytes, iv: bytes) -> bytes:
+        stream = self.keystream(iv, len(padded_plaintext))
+        return xor_bytes_strict(padded_plaintext, stream)
+
+    def decrypt_blocks(self, ciphertext: bytes, iv: bytes) -> bytes:
+        return self.encrypt_blocks(ciphertext, iv)
+
+    def _check_aligned(self, data: bytes) -> None:
+        # Stream mode: any length is acceptable.
+        return

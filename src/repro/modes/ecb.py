@@ -1,0 +1,39 @@
+"""Electronic codebook mode.
+
+The paper notes (Sect. 3) that "a purely deterministic mode like ECB
+which does not need an IV would be even worse" than zero-IV CBC: equal
+*blocks* leak, not just equal prefixes.  Included so the distinguisher
+benches can quantify exactly how much worse.
+"""
+
+from __future__ import annotations
+
+from repro.modes.base import CipherMode, ZeroIV
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.padding import PKCS7, PaddingScheme
+from repro.primitives.util import iter_blocks
+
+
+class ECB(CipherMode):
+    """ECB: every block encrypted independently; inherently deterministic."""
+
+    name = "ecb"
+
+    def __init__(
+        self, cipher: BlockCipher, padding: PaddingScheme = PKCS7
+    ) -> None:
+        super().__init__(cipher, iv_policy=ZeroIV(), padding=padding, embed_iv=False)
+
+    def encrypt_blocks(self, padded_plaintext: bytes, iv: bytes) -> bytes:
+        self._check_aligned(padded_plaintext)
+        out = bytearray()
+        for block in iter_blocks(padded_plaintext, self.block_size):
+            out += self._cipher.encrypt_block(block)
+        return bytes(out)
+
+    def decrypt_blocks(self, ciphertext: bytes, iv: bytes) -> bytes:
+        self._check_aligned(ciphertext)
+        out = bytearray()
+        for block in iter_blocks(ciphertext, self.block_size):
+            out += self._cipher.decrypt_block(block)
+        return bytes(out)

@@ -1,0 +1,48 @@
+"""Output feedback mode (NIST SP 800-38A).
+
+Like CTR, OFB is called out in the paper's footnote 2 as insecure under
+the deterministic-E assumption because the keystream repeats.
+"""
+
+from __future__ import annotations
+
+from repro.modes.base import CipherMode, IVPolicy, ZeroIV
+from repro.primitives.blockcipher import BlockCipher
+from repro.primitives.padding import STREAM, PaddingScheme
+from repro.primitives.util import xor_bytes_strict
+
+
+class OFB(CipherMode):
+    """OFB mode; a stream mode, so no padding is required by default."""
+
+    name = "ofb"
+
+    def __init__(
+        self,
+        cipher: BlockCipher,
+        iv_policy: IVPolicy | None = None,
+        padding: PaddingScheme = STREAM,
+        embed_iv: bool | None = None,
+    ) -> None:
+        if iv_policy is None:
+            iv_policy = ZeroIV()
+        super().__init__(cipher, iv_policy, padding, embed_iv)
+
+    def keystream(self, iv: bytes, length: int) -> bytes:
+        """Raw OFB keystream, exposed for the footnote-2 demonstration."""
+        out = bytearray()
+        feedback = iv
+        while len(out) < length:
+            feedback = self._cipher.encrypt_block(feedback)
+            out += feedback
+        return bytes(out[:length])
+
+    def encrypt_blocks(self, padded_plaintext: bytes, iv: bytes) -> bytes:
+        stream = self.keystream(iv, len(padded_plaintext))
+        return xor_bytes_strict(padded_plaintext, stream)
+
+    def decrypt_blocks(self, ciphertext: bytes, iv: bytes) -> bytes:
+        return self.encrypt_blocks(ciphertext, iv)
+
+    def _check_aligned(self, data: bytes) -> None:
+        return

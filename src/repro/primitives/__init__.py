@@ -1,0 +1,80 @@
+"""Cryptographic primitives implemented from scratch.
+
+Everything the paper's schemes are instantiated with lives here: the AES
+and DES block ciphers, the SHA-1/SHA-256 hash functions (for the address
+checksum µ), HMAC, padding schemes, and random/nonce sources.  Higher
+layers (modes, MACs, AEAD) build exclusively on these interfaces.
+"""
+
+from repro.primitives.aes import AES
+from repro.primitives.blockcipher import BlockCipher, CountingCipher, IdentityCipher
+from repro.primitives.des import DES, TripleDES
+from repro.primitives.hmac import HMAC, hmac_sha1, hmac_sha256, make_keyed_hash
+from repro.primitives.padding import (
+    NONE,
+    PKCS7,
+    ZERO,
+    NoPadding,
+    PaddingScheme,
+    PKCS7Padding,
+    ZeroPadding,
+    get_padding,
+)
+from repro.primitives.rng import (
+    CountingNonceSource,
+    DeterministicRandom,
+    RandomNonceSource,
+    RandomSource,
+    RepeatingNonceSource,
+    SystemRandom,
+)
+from repro.primitives.sha1 import SHA1, sha1, sha1_truncated
+from repro.primitives.sha256 import SHA256, sha256
+
+__all__ = [
+    "AES",
+    "BlockCipher",
+    "CountingCipher",
+    "CountingNonceSource",
+    "DES",
+    "DeterministicRandom",
+    "HMAC",
+    "IdentityCipher",
+    "NONE",
+    "NoPadding",
+    "PKCS7",
+    "PKCS7Padding",
+    "PaddingScheme",
+    "RandomNonceSource",
+    "RandomSource",
+    "RepeatingNonceSource",
+    "SHA1",
+    "SHA256",
+    "SystemRandom",
+    "TripleDES",
+    "ZERO",
+    "ZeroPadding",
+    "get_padding",
+    "hmac_sha1",
+    "hmac_sha256",
+    "make_keyed_hash",
+    "sha1",
+    "sha1_truncated",
+    "sha256",
+]
+
+
+def make_cipher(name: str, key: bytes) -> BlockCipher:
+    """Instantiate a registered block cipher by name.
+
+    Supported names: ``aes`` (key length selects the variant), ``des``,
+    ``3des``.
+    """
+    normalized = name.lower().replace("_", "-")
+    if normalized in ("aes", "aes-128", "aes-192", "aes-256"):
+        return AES(key)
+    if normalized == "des":
+        return DES(key)
+    if normalized in ("3des", "tdes", "des3"):
+        return TripleDES(key)
+    raise ValueError(f"unknown block cipher {name!r}")

@@ -1,0 +1,203 @@
+"""AES-128/192/256 implemented from scratch (FIPS 197).
+
+The paper's schemes name AES as a suggested instantiation of the cell
+encryption function E (Sect. 2.2), and all counter-examples in Sect. 3
+assume its 16-octet block size.  This implementation derives the S-box
+from GF(2^8) arithmetic at import time instead of embedding opaque
+tables, and is validated against the FIPS 197 appendix vectors in the
+test suite.
+
+This is a reference implementation optimised for clarity and auditability,
+not speed; the benchmark harness measures block-cipher *invocation counts*
+(Sect. 4 of the paper), which are implementation independent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KeyLengthError
+from repro.primitives.blockcipher import BlockCipher
+
+_ROUNDS_BY_KEY_LENGTH = {16: 10, 24: 12, 32: 14}
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) modulo x^8 + x^4 + x^3 + x + 1."""
+    product = 0
+    for _ in range(8):
+        if b & 1:
+            product ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return product
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box as inversion in GF(2^8) plus affine map."""
+    # Exp/log tables over generator 3 give fast inverses.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_multiply(value, 3)
+    exp[255] = exp[0]
+
+    sbox = bytearray(256)
+    inverse_sbox = bytearray(256)
+    for x in range(256):
+        inv = 0 if x == 0 else exp[255 - log[x]]
+        y = inv
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            rotated = ((y << shift) | (y >> (8 - shift))) & 0xFF
+            result ^= rotated
+        sbox[x] = result
+        inverse_sbox[result] = x
+    return bytes(sbox), bytes(inverse_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_multiply(_RCON[-1], 2))
+
+
+class AES(BlockCipher):
+    """The AES block cipher with 128-, 192-, or 256-bit keys."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS_BY_KEY_LENGTH:
+            raise KeyLengthError(
+                f"AES keys must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self._rounds = _ROUNDS_BY_KEY_LENGTH[len(key)]
+        self.name = f"aes-{len(key) * 8}"
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule -----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        total_words = 4 * (self._rounds + 1)
+        words: list[list[int]] = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group words into per-round 16-byte keys, flattened column-major.
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            flat: list[int] = []
+            for word in words[4 * round_index:4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- state helpers ----------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # State is column-major: byte (row r, column c) lives at 4*c + r.
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            state[4 * c + 0] = (
+                _gf_multiply(col[0], 2) ^ _gf_multiply(col[1], 3) ^ col[2] ^ col[3]
+            )
+            state[4 * c + 1] = (
+                col[0] ^ _gf_multiply(col[1], 2) ^ _gf_multiply(col[2], 3) ^ col[3]
+            )
+            state[4 * c + 2] = (
+                col[0] ^ col[1] ^ _gf_multiply(col[2], 2) ^ _gf_multiply(col[3], 3)
+            )
+            state[4 * c + 3] = (
+                _gf_multiply(col[0], 3) ^ col[1] ^ col[2] ^ _gf_multiply(col[3], 2)
+            )
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            state[4 * c + 0] = (
+                _gf_multiply(col[0], 14) ^ _gf_multiply(col[1], 11)
+                ^ _gf_multiply(col[2], 13) ^ _gf_multiply(col[3], 9)
+            )
+            state[4 * c + 1] = (
+                _gf_multiply(col[0], 9) ^ _gf_multiply(col[1], 14)
+                ^ _gf_multiply(col[2], 11) ^ _gf_multiply(col[3], 13)
+            )
+            state[4 * c + 2] = (
+                _gf_multiply(col[0], 13) ^ _gf_multiply(col[1], 9)
+                ^ _gf_multiply(col[2], 14) ^ _gf_multiply(col[3], 11)
+            )
+            state[4 * c + 3] = (
+                _gf_multiply(col[0], 11) ^ _gf_multiply(col[1], 13)
+                ^ _gf_multiply(col[2], 9) ^ _gf_multiply(col[3], 14)
+            )
+
+    # -- public API ---------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

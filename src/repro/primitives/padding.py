@@ -1,0 +1,126 @@
+"""Padding schemes for block-aligned encryption.
+
+The paper (Sect. 3) pads "according to some padding scheme, e.g. PKCS#5
+[11]".  We provide PKCS#7 (the block-size-generalised PKCS#5) as the
+default, plus zero padding and a no-op for already-aligned data.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import PaddingError
+
+
+class PaddingScheme(ABC):
+    """Interface for reversible byte-padding to a block boundary."""
+
+    name: str
+
+    @abstractmethod
+    def pad(self, data: bytes, block_size: int) -> bytes:
+        """Extend ``data`` to a multiple of ``block_size`` bytes."""
+
+    @abstractmethod
+    def unpad(self, data: bytes, block_size: int) -> bytes:
+        """Invert :meth:`pad`, raising :class:`PaddingError` on bad input."""
+
+
+class PKCS7Padding(PaddingScheme):
+    """PKCS#7 padding: append N bytes of value N, 1 <= N <= block_size.
+
+    For 8-byte blocks this is exactly PKCS#5, the scheme the paper cites.
+    Always adds at least one byte, so aligned plaintexts gain a full block.
+    """
+
+    name = "pkcs7"
+
+    def pad(self, data: bytes, block_size: int) -> bytes:
+        if not 1 <= block_size <= 255:
+            raise ValueError("PKCS#7 requires a block size in 1..255")
+        n = block_size - (len(data) % block_size)
+        return data + bytes([n]) * n
+
+    def unpad(self, data: bytes, block_size: int) -> bytes:
+        if not data or len(data) % block_size:
+            raise PaddingError("padded data must be a non-empty block multiple")
+        n = data[-1]
+        if not 1 <= n <= block_size:
+            raise PaddingError(f"invalid padding length byte {n}")
+        if data[-n:] != bytes([n]) * n:
+            raise PaddingError("padding bytes are inconsistent")
+        return data[:-n]
+
+
+class ZeroPadding(PaddingScheme):
+    """Zero padding: append 0x00 up to the block boundary.
+
+    Not reversible for plaintexts that may end in zero bytes; provided
+    because naive implementations of [3] commonly use it, and because the
+    XOR-Scheme's zero-extension convention (Sect. 2, Notation) behaves
+    exactly like it.
+    """
+
+    name = "zero"
+
+    def pad(self, data: bytes, block_size: int) -> bytes:
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        remainder = len(data) % block_size
+        if remainder == 0 and data:
+            return data
+        if not data:
+            return bytes(block_size)
+        return data + bytes(block_size - remainder)
+
+    def unpad(self, data: bytes, block_size: int) -> bytes:
+        if len(data) % block_size:
+            raise PaddingError("padded data must be a block multiple")
+        return data.rstrip(b"\x00")
+
+
+class NoPadding(PaddingScheme):
+    """Identity padding for data already known to be block aligned."""
+
+    name = "none"
+
+    def pad(self, data: bytes, block_size: int) -> bytes:
+        if len(data) % block_size:
+            raise PaddingError(
+                "NoPadding requires block-aligned input "
+                f"(got {len(data)} bytes for block size {block_size})"
+            )
+        return data
+
+    def unpad(self, data: bytes, block_size: int) -> bytes:
+        if len(data) % block_size:
+            raise PaddingError("padded data must be a block multiple")
+        return data
+
+
+class StreamPadding(PaddingScheme):
+    """Identity transform for stream modes that accept any length."""
+
+    name = "stream"
+
+    def pad(self, data: bytes, block_size: int) -> bytes:
+        return data
+
+    def unpad(self, data: bytes, block_size: int) -> bytes:
+        return data
+
+
+PKCS7 = PKCS7Padding()
+ZERO = ZeroPadding()
+NONE = NoPadding()
+STREAM = StreamPadding()
+
+_BY_NAME = {scheme.name: scheme for scheme in (PKCS7, ZERO, NONE, STREAM)}
+
+
+def get_padding(name: str) -> PaddingScheme:
+    """Look up a padding scheme by its registered name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown padding scheme {name!r}") from None

@@ -1,0 +1,105 @@
+"""SHA-1 implemented from scratch (FIPS 180-4).
+
+Sect. 3.1 of the paper instantiates the address-checksum function
+``µ(t,r,c) = h(t ∥ r ∥ c)`` with SHA-1 truncated to the first 128 bits;
+this module provides exactly that ``h``.  SHA-1 is cryptographically
+broken for collision resistance in general, but here we reproduce the
+paper's instantiation faithfully.  Cross-checked against ``hashlib``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.primitives.util import rotl32
+
+_MASK = 0xFFFFFFFF
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+class SHA1:
+    """Incremental SHA-1 with the familiar update/digest interface."""
+
+    digest_size = 20
+    block_size = 64
+    name = "sha1"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INITIAL_STATE)
+        self._length = 0
+        self._pending = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        buffer = self._pending + data
+        offset = 0
+        while offset + 64 <= len(buffer):
+            self._compress(buffer[offset:offset + 64])
+            offset += 64
+        self._pending = buffer[offset:]
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        bit_length = clone._length * 8
+        clone.update(b"\x80")
+        while len(clone._pending) != 56:
+            clone.update(b"\x00")
+        clone._compress(clone._pending + struct.pack(">Q", bit_length))
+        return struct.pack(">5I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "SHA1":
+        clone = SHA1()
+        clone._state = list(self._state)
+        clone._length = self._length
+        clone._pending = self._pending
+        return clone
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+
+        a, b, c, d, e = self._state
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (rotl32(a, 5) + f + e + k + w[i]) & _MASK
+            e, d, c, b, a = d, c, rotl32(b, 30), a, temp
+
+        self._state = [
+            (x + y) & _MASK for x, y in zip(self._state, (a, b, c, d, e))
+        ]
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest."""
+    return SHA1(data).digest()
+
+
+def sha1_truncated(data: bytes, length: int = 16) -> bytes:
+    """SHA-1 truncated to the first ``length`` bytes.
+
+    With the default length of 16 this is the paper's concrete µ building
+    block: "SHA1 for h (truncated to the first 128 bits)" (Sect. 3.1).
+    """
+    if not 1 <= length <= 20:
+        raise ValueError("truncation length must be in 1..20")
+    return sha1(data)[:length]

@@ -1,0 +1,35 @@
+"""Workload and dataset generators for benchmarks and examples."""
+
+from repro.workloads.datasets import (
+    DEFAULT_MASTER_KEY,
+    DOCUMENTS_SCHEMA,
+    PATIENTS_SCHEMA,
+    build_documents_db,
+    build_patients_db,
+)
+from repro.workloads.generators import (
+    ascii_string,
+    default_rng,
+    diagnosis,
+    patient_rows,
+    person_name,
+    shared_prefix_strings,
+    single_block_ascii,
+    zipf_integers,
+)
+
+__all__ = [
+    "DEFAULT_MASTER_KEY",
+    "DOCUMENTS_SCHEMA",
+    "PATIENTS_SCHEMA",
+    "ascii_string",
+    "build_documents_db",
+    "build_patients_db",
+    "default_rng",
+    "diagnosis",
+    "patient_rows",
+    "person_name",
+    "shared_prefix_strings",
+    "single_block_ascii",
+    "zipf_integers",
+]

@@ -1,0 +1,75 @@
+"""Pre-packaged datasets and database builders for examples/benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.primitives.rng import DeterministicRandom, RandomSource
+from repro.workloads.generators import patient_rows, shared_prefix_strings
+
+#: The schema of the running medical example ([3]'s motivating scenario:
+#: a database whose contents must stay private even from administrators).
+PATIENTS_SCHEMA = TableSchema(
+    "patients",
+    [
+        Column("patient_id", ColumnType.INT),
+        Column("name", ColumnType.TEXT),
+        Column("diagnosis", ColumnType.TEXT),
+        Column("age", ColumnType.INT),
+    ],
+)
+
+#: A documents table whose values share long common prefixes — the data
+#: shape every pattern-matching attack in Sect. 3 assumes.
+DOCUMENTS_SCHEMA = TableSchema(
+    "documents",
+    [
+        Column("doc_id", ColumnType.INT),
+        Column("body", ColumnType.TEXT),
+    ],
+)
+
+DEFAULT_MASTER_KEY = b"repro-master-key-0123456789abcdef"
+
+
+def build_patients_db(
+    config: EncryptionConfig,
+    rows: int = 200,
+    master_key: bytes = DEFAULT_MASTER_KEY,
+    rng: RandomSource | None = None,
+    with_indexes: bool = True,
+) -> EncryptedDatabase:
+    """An encrypted patients database under the given configuration."""
+    rng = rng if rng is not None else DeterministicRandom("patients")
+    db = EncryptedDatabase(master_key, config, rng=rng.fork("db"))
+    db.create_table(PATIENTS_SCHEMA)
+    for row in patient_rows(rng.fork("rows"), rows):
+        db.insert("patients", list(row))
+    if with_indexes:
+        db.create_index("patients_by_age", "patients", "age", kind="table")
+        db.create_index("patients_by_name", "patients", "name", kind="btree")
+    return db
+
+
+def build_documents_db(
+    config: EncryptionConfig,
+    rows: int = 64,
+    prefix_blocks: int = 2,
+    total_blocks: int = 4,
+    groups: int = 8,
+    master_key: bytes = DEFAULT_MASTER_KEY,
+    rng: RandomSource | None = None,
+    index_kind: str | None = "table",
+) -> EncryptedDatabase:
+    """A documents database with shared-prefix bodies (attack fodder)."""
+    rng = rng if rng is not None else DeterministicRandom("documents")
+    db = EncryptedDatabase(master_key, config, rng=rng.fork("db"))
+    db.create_table(DOCUMENTS_SCHEMA)
+    bodies = shared_prefix_strings(
+        rng.fork("bodies"), rows, prefix_blocks, total_blocks, groups=groups
+    )
+    for doc_id, body in enumerate(bodies):
+        db.insert("documents", [doc_id, body])
+    if index_kind:
+        db.create_index("documents_by_body", "documents", "body", kind=index_kind)
+    return db

@@ -1,0 +1,119 @@
+"""Synthetic data generators shaped like the paper's attack settings.
+
+Sect. 3 makes specific assumptions about the data: "attributes comprised
+of strings that are possibly much longer than the blocksize of the
+cipher" sharing "a common prefix of … two blocks" (pattern matching),
+and "an attribute V [of] b characters chosen from the ASCII character
+set … represented as a single octet each" (the substitution experiment).
+These generators produce exactly those distributions, deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.primitives.rng import DeterministicRandom, RandomSource
+
+_ASCII_PRINTABLE = (string.ascii_letters + string.digits + " .,-_").encode("ascii")
+
+
+def ascii_string(rng: RandomSource, length: int) -> str:
+    """Uniform printable-ASCII string (every octet in 0..127)."""
+    return bytes(rng.choice(_ASCII_PRINTABLE) for _ in range(length)).decode("ascii")
+
+
+def single_block_ascii(rng: RandomSource, block_size: int = 16) -> str:
+    """The Sect. 3.1 substitution-attack value shape: exactly b ASCII chars."""
+    return ascii_string(rng, block_size)
+
+
+def shared_prefix_strings(
+    rng: RandomSource,
+    count: int,
+    prefix_blocks: int = 2,
+    total_blocks: int = 4,
+    block_size: int = 16,
+    groups: int = 1,
+) -> list[str]:
+    """Strings sharing multi-block prefixes within each group.
+
+    With the defaults this is the paper's pattern-matching setting: pairs
+    of values sharing "a common prefix of (for illustration) two blocks".
+    ``groups`` distinct prefixes are generated; strings are assigned to
+    groups round-robin, so values ``i`` and ``i + groups`` share a prefix.
+    """
+    if prefix_blocks >= total_blocks:
+        raise ValueError("prefix must be shorter than the whole string")
+    prefixes = [
+        ascii_string(rng, prefix_blocks * block_size) for _ in range(groups)
+    ]
+    suffix_length = (total_blocks - prefix_blocks) * block_size
+    return [
+        prefixes[i % groups] + ascii_string(rng, suffix_length)
+        for i in range(count)
+    ]
+
+
+def zipf_integers(rng: RandomSource, count: int, universe: int, s: float = 1.2) -> list[int]:
+    """Zipf-distributed integers in [0, universe) — skewed point-query keys."""
+    weights = [1.0 / (rank ** s) for rank in range(1, universe + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    out = []
+    for _ in range(count):
+        u = rng.randint(10 ** 9) / 10 ** 9
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo)
+    return out
+
+
+_FIRST_NAMES = (
+    "alice bob carol dave erin frank grace heidi ivan judy mallory niaj "
+    "olivia peggy quentin rupert sybil trent ursula victor wendy yolanda"
+).split()
+_SURNAMES = (
+    "smith jones taylor brown wilson evans thomas johnson roberts walker "
+    "wright thompson white hughes edwards green lewis wood harris martin"
+).split()
+_DIAGNOSES = (
+    "hypertension diabetes-type-2 asthma migraine arthritis anemia "
+    "bronchitis gastritis dermatitis sinusitis influenza tonsillitis"
+).split()
+
+
+def person_name(rng: RandomSource) -> str:
+    """Plausible full name (the kind of PII [3] motivates protecting)."""
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_SURNAMES)}"
+
+
+def diagnosis(rng: RandomSource) -> str:
+    return rng.choice(_DIAGNOSES)
+
+
+def patient_rows(rng: RandomSource, count: int) -> list[tuple[int, str, str, int]]:
+    """(patient_id, name, diagnosis, age) rows for the medical example."""
+    return [
+        (
+            i,
+            person_name(rng),
+            diagnosis(rng),
+            18 + rng.randint(70),
+        )
+        for i in range(count)
+    ]
+
+
+def default_rng(seed: str = "repro-workload") -> DeterministicRandom:
+    """The seeded RNG every benchmark uses for repeatability."""
+    return DeterministicRandom(seed)

@@ -1,0 +1,79 @@
+"""The AEAD interface contract and the StoredEntry wire format."""
+
+import pytest
+
+from repro.aead import CCFB, EAX, GCM, OCB, SIV, StoredEntry, make_aead
+from repro.errors import AuthenticationError
+from repro.primitives.aes import AES
+
+ALL_AEADS = ["eax", "ocb", "ccfb", "gcm", "siv"]
+
+
+def build(name):
+    key = bytes(range(16)) if name != "siv" else bytes(range(32))
+    return make_aead(name, AES, key)
+
+
+def nonce_for(aead):
+    return bytes(aead.nonce_size) if aead.nonce_size else b"some-nonce"
+
+
+@pytest.mark.parametrize("name", ALL_AEADS)
+def test_factory_and_round_trip(name):
+    aead = build(name)
+    nonce = nonce_for(aead)
+    ciphertext, tag = aead.encrypt(nonce, b"payload bytes", b"header")
+    assert aead.decrypt(nonce, ciphertext, tag, b"header") == b"payload bytes"
+
+
+@pytest.mark.parametrize("name", ALL_AEADS)
+def test_invalid_is_opaque(name):
+    """Eq. (22): wrong key / address / tampering are indistinguishable."""
+    aead = build(name)
+    nonce = nonce_for(aead)
+    ciphertext, tag = aead.encrypt(nonce, b"payload", b"h")
+    messages = set()
+    with pytest.raises(AuthenticationError) as err1:
+        aead.decrypt(nonce, ciphertext, tag, b"wrong-header")
+    messages.add(str(err1.value))
+    if ciphertext:
+        with pytest.raises(AuthenticationError) as err2:
+            aead.decrypt(nonce, b"\x00" + ciphertext[1:], tag, b"h")
+        messages.add(str(err2.value))
+    assert messages == {"invalid"}
+
+
+def test_factory_unknown_name():
+    with pytest.raises(ValueError):
+        make_aead("rot13", AES, bytes(16))
+
+
+def test_stored_entry_round_trip():
+    entry = StoredEntry(b"nonce", b"ciphertext-bytes", b"tag!")
+    decoded = StoredEntry.from_bytes(entry.to_bytes())
+    assert decoded == entry
+    assert hash(decoded) == hash(entry)
+    assert entry.nonce.hex() in repr(decoded)  # fields render as hex
+
+
+def test_stored_entry_sizes():
+    entry = StoredEntry(bytes(16), bytes(40), bytes(16))
+    assert entry.stored_size == 72
+    assert entry.overhead(plaintext_size=40) == 32  # the Sect. 4 number
+
+
+def test_stored_entry_rejects_malformed():
+    entry = StoredEntry(b"n", b"c", b"t")
+    blob = entry.to_bytes()
+    with pytest.raises(ValueError):
+        StoredEntry.from_bytes(blob[:-1])       # truncated
+    with pytest.raises(ValueError):
+        StoredEntry.from_bytes(blob + b"\x00")  # trailing garbage
+    with pytest.raises(ValueError):
+        StoredEntry.from_bytes(b"\xff\xff\xff\xff")  # absurd length
+
+
+def test_stored_entry_equality():
+    a = StoredEntry(b"n", b"c", b"t")
+    assert a != StoredEntry(b"n", b"c", b"x")
+    assert a.__eq__(42) is NotImplemented

@@ -1,0 +1,107 @@
+"""CCFB: property tests around its 96-bit-nonce / 32-bit-tag geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aead.ccfb import CCFB
+from repro.errors import AuthenticationError, NonceError
+from repro.primitives.aes import AES
+
+KEY = bytes(range(16))
+NONCE = bytes(12)  # 96 bits, as suggested in the paper's Sect. 4
+
+
+def test_paper_geometry():
+    """Sect. 4: "the nonce and the tag fit into one block, e.g. using a
+    96-bit nonce and a 32-bit tag"."""
+    aead = CCFB(AES(KEY))
+    assert aead.nonce_size == 12
+    assert aead.tag_size == 4
+    assert aead.nonce_size + aead.tag_size == 16  # one AES block
+
+
+@given(st.binary(max_size=100), st.binary(max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_round_trip(plaintext, header):
+    aead = CCFB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, plaintext, header)
+    assert len(ciphertext) == len(plaintext)
+    assert len(tag) == 4
+    assert aead.decrypt(NONCE, ciphertext, tag, header) == plaintext
+
+
+@pytest.mark.parametrize("length", [0, 1, 11, 12, 13, 24, 25, 36, 100])
+def test_chunk_boundaries(length):
+    # chunk_size is 12 bytes; exercise every boundary shape.
+    aead = CCFB(AES(KEY))
+    plaintext = bytes((7 * i) % 256 for i in range(length))
+    ciphertext, tag = aead.encrypt(NONCE, plaintext, b"hdr")
+    assert aead.decrypt(NONCE, ciphertext, tag, b"hdr") == plaintext
+
+
+@pytest.mark.parametrize("length", [1, 12, 25, 48])
+def test_any_bit_flip_detected(length):
+    aead = CCFB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, bytes(length))
+    for position in range(len(ciphertext)):
+        bad = bytearray(ciphertext)
+        bad[position] ^= 0x04
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(NONCE, bytes(bad), tag)
+
+
+def test_truncation_and_extension_detected():
+    aead = CCFB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, bytes(36))
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext[:24], tag)
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext + bytes(12), tag)
+
+
+def test_header_binding():
+    aead = CCFB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, b"data", b"cell-a")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext, tag, b"cell-b")
+
+
+def test_header_message_boundary_bound():
+    """Moving bytes across the header/message boundary must fail: the
+    lengths are folded into the finalisation block."""
+    aead = CCFB(AES(KEY))
+    c1, t1 = aead.encrypt(NONCE, b"AB", b"CD")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, c1[:1], t1, b"CD" + c1[1:2])
+
+
+def test_nonce_binding():
+    aead = CCFB(AES(KEY))
+    n2 = bytes(11) + b"\x01"
+    ciphertext, tag = aead.encrypt(NONCE, b"data")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(n2, ciphertext, tag)
+
+
+def test_nonce_size_enforced():
+    aead = CCFB(AES(KEY))
+    with pytest.raises(NonceError):
+        aead.encrypt(bytes(16), b"data")
+
+
+def test_wider_tag_configuration():
+    aead = CCFB(AES(KEY), tag_size=8)
+    assert aead.nonce_size == 8
+    ciphertext, tag = aead.encrypt(bytes(8), b"some plaintext here")
+    assert len(tag) == 8
+    assert aead.decrypt(bytes(8), ciphertext, tag) == b"some plaintext here"
+    with pytest.raises(ValueError):
+        CCFB(AES(KEY), tag_size=16)
+
+
+def test_keystream_not_reused_across_nonces():
+    aead = CCFB(AES(KEY))
+    c1, _ = aead.encrypt(bytes(12), b"same message....")
+    c2, _ = aead.encrypt(bytes(11) + b"\x01", b"same message....")
+    assert c1 != c2

@@ -1,0 +1,85 @@
+"""Cross-scheme and cross-key hygiene for the AEAD catalogue."""
+
+import itertools
+
+import pytest
+
+from repro.aead import CCFB, EAX, GCM, OCB, SIV, make_aead
+from repro.errors import AuthenticationError, NonceError
+from repro.primitives.aes import AES
+
+NAMES = ["eax", "ocb", "ccfb", "gcm", "siv"]
+
+
+def build(name, key_byte=0):
+    key_length = 32 if name == "siv" else 16
+    return make_aead(name, AES, bytes([key_byte]) * key_length)
+
+
+def nonce_for(aead):
+    return bytes(aead.nonce_size) if aead.nonce_size else b"nonce-material"
+
+
+@pytest.mark.parametrize("producer,consumer", [
+    (a, b) for a, b in itertools.product(NAMES, NAMES) if a != b
+])
+def test_ciphertexts_do_not_cross_schemes(producer, consumer):
+    """A ciphertext sealed by one AEAD never verifies under another,
+    even with 'the same' key bytes — scheme confusion fails closed."""
+    source = build(producer)
+    target = build(consumer)
+    nonce = nonce_for(source)
+    ciphertext, tag = source.encrypt(nonce, b"cross-scheme payload", b"hdr")
+    target_nonce = nonce
+    if target.nonce_size is not None and len(nonce) != target.nonce_size:
+        target_nonce = nonce[:target.nonce_size].ljust(target.nonce_size, b"\x00")
+    target_tag = tag
+    if len(tag) != target.tag_size:
+        target_tag = tag[:target.tag_size].ljust(target.tag_size, b"\x00")
+    with pytest.raises(AuthenticationError):
+        target.decrypt(target_nonce, ciphertext, target_tag, b"hdr")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_wrong_key_fails_closed(name):
+    a = build(name, key_byte=0)
+    b = build(name, key_byte=1)
+    nonce = nonce_for(a)
+    ciphertext, tag = a.encrypt(nonce, b"payload", b"h")
+    with pytest.raises(AuthenticationError):
+        b.decrypt(nonce, ciphertext, tag, b"h")
+
+
+@pytest.mark.parametrize("name", ["eax", "ocb", "ccfb", "gcm"])
+def test_nonce_based_schemes_randomise(name):
+    """Every nonce-based AEAD produces distinct ciphertexts for equal
+    plaintexts under distinct nonces — the §4 privacy prerequisite."""
+    aead = build(name)
+    size = aead.nonce_size or 16
+    n1 = bytes(size)
+    n2 = bytes(size - 1) + b"\x01"
+    c1, _ = aead.encrypt(n1, b"identical plaintext bytes")
+    c2, _ = aead.encrypt(n2, b"identical plaintext bytes")
+    assert c1 != c2
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_ciphertext_length_never_expands(name):
+    """Sect. 4: the chosen AEADs "do not require additional padding"."""
+    aead = build(name)
+    nonce = nonce_for(aead)
+    for length in (0, 1, 15, 16, 17, 100):
+        ciphertext, _ = aead.encrypt(nonce, bytes(length), b"h")
+        assert len(ciphertext) == length
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_header_not_recoverable_from_record(name):
+    """The associated data is authenticated but never stored: it must
+    not appear in (N, C, T)."""
+    aead = build(name)
+    nonce = nonce_for(aead)
+    header = b"super-distinctive-header-bytes"
+    ciphertext, tag = aead.encrypt(nonce, b"v", header)
+    blob = nonce + ciphertext + tag
+    assert header not in blob

@@ -1,0 +1,116 @@
+"""EAX against the Bellare–Rogaway–Wagner paper's test vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aead.eax import EAX
+from repro.errors import AuthenticationError
+from repro.primitives.aes import AES
+
+# Vectors from the EAX paper appendix (MSG, KEY, NONCE, HEADER, CIPHER).
+VECTORS = [
+    ("", "233952DEE4D5ED5F9B9C6D6FF80FF478",
+     "62EC67F9C3A4A407FCB2A8C49031A8B3", "6BFB914FD07EAE6B",
+     "E037830E8389F27B025A2D6527E79D01"),
+    ("F7FB", "91945D3F4DCBEE0BF45EF52255F095A4",
+     "BECAF043B0A23D843194BA972C66DEBD", "FA3BFD4806EB53FA",
+     "19DD5C4C9331049D0BDAB0277408F67967E5"),
+    ("1A47CB4933", "01F74AD64077F2E704C0F60ADA3DD523",
+     "70C3DB4F0D26368400A10ED05D2BFF5E", "234A3463C1264AC6",
+     "D851D5BAE03A59F238A23E39199DC9266626C40F80"),
+    ("481C9E39B1", "D07CF6CBB7F313BDDE66B727AFD3C5E8",
+     "8408DFFF3C1A2B1292DC199E46B7D617", "33CCE2EABFF5A79D",
+     "632A9D131AD4C168A4225D8E1FF755939974A7BEDE"),
+    ("40D0C07DA5E4", "35B6D0580005BBC12B0587124557D2C2",
+     "FDB6B06676EEDC5C61D74276E1F8E816", "AEB96EAEBE2970E9",
+     "071DFE16C675CB0677E536F73AFE6A14B74EE49844DD"),
+]
+
+
+@pytest.mark.parametrize("msg,key,nonce,header,expected", VECTORS)
+def test_paper_vectors_encrypt(msg, key, nonce, header, expected):
+    aead = EAX(AES(bytes.fromhex(key)), tag_size=16)
+    ciphertext, tag = aead.encrypt(
+        bytes.fromhex(nonce), bytes.fromhex(msg), bytes.fromhex(header)
+    )
+    assert (ciphertext + tag).hex().upper() == expected
+
+
+@pytest.mark.parametrize("msg,key,nonce,header,expected", VECTORS)
+def test_paper_vectors_decrypt(msg, key, nonce, header, expected):
+    aead = EAX(AES(bytes.fromhex(key)), tag_size=16)
+    blob = bytes.fromhex(expected)
+    ciphertext, tag = blob[:-16], blob[-16:]
+    plaintext = aead.decrypt(
+        bytes.fromhex(nonce), ciphertext, tag, bytes.fromhex(header)
+    )
+    assert plaintext.hex().upper() == msg
+
+
+@given(st.binary(max_size=100), st.binary(min_size=1, max_size=24), st.binary(max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_round_trip(plaintext, nonce, header):
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(nonce, plaintext, header)
+    assert len(ciphertext) == len(plaintext)  # no padding expansion (Sect. 4)
+    assert aead.decrypt(nonce, ciphertext, tag, header) == plaintext
+
+
+def test_tampered_ciphertext_rejected():
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"nonce", b"secret value", b"hdr")
+    bad = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(b"nonce", bad, tag, b"hdr")
+
+
+def test_tampered_tag_rejected():
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"nonce", b"secret value", b"hdr")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(b"nonce", ciphertext, bytes(len(tag)), b"hdr")
+
+
+def test_wrong_header_rejected():
+    """The property the fix rests on: associated data is authenticated."""
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"nonce", b"v", b"cell (1,2,3)")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(b"nonce", ciphertext, tag, b"cell (1,2,4)")
+
+
+def test_wrong_nonce_rejected():
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"nonce-a", b"v", b"h")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(b"nonce-b", ciphertext, tag, b"h")
+
+
+def test_distinct_nonces_randomise_equal_plaintexts():
+    aead = EAX(AES(bytes(16)))
+    c1, _ = aead.encrypt(b"n1", b"same plaintext value")
+    c2, _ = aead.encrypt(b"n2", b"same plaintext value")
+    assert c1 != c2
+
+
+def test_empty_everything():
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"n", b"", b"")
+    assert ciphertext == b""
+    assert aead.decrypt(b"n", b"", tag, b"") == b""
+
+
+def test_empty_nonce_rejected():
+    aead = EAX(AES(bytes(16)))
+    with pytest.raises(Exception):
+        aead.encrypt(b"", b"data")
+
+
+def test_truncated_tag_sizes():
+    aead = EAX(AES(bytes(16)), tag_size=8)
+    ciphertext, tag = aead.encrypt(b"n", b"data")
+    assert len(tag) == 8
+    assert aead.decrypt(b"n", ciphertext, tag) == b"data"
+    with pytest.raises(ValueError):
+        EAX(AES(bytes(16)), tag_size=17)

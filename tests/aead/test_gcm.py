@@ -1,0 +1,111 @@
+"""GCM against NIST GCM-spec test cases plus properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aead.gcm import GCM, GHASH, _gf128_multiply
+from repro.errors import AuthenticationError, NonceError
+from repro.primitives.aes import AES
+
+
+def test_nist_test_case_1_empty():
+    aead = GCM(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(bytes(12), b"")
+    assert ciphertext == b""
+    assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_nist_test_case_2():
+    aead = GCM(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(bytes(12), bytes(16))
+    assert ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_nist_test_case_3():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255"
+    )
+    aead = GCM(AES(key))
+    ciphertext, tag = aead.encrypt(iv, plaintext)
+    assert ciphertext.hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985"
+    )
+    assert tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+
+def test_nist_test_case_4_with_aad():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39"
+    )
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    aead = GCM(AES(key))
+    ciphertext, tag = aead.encrypt(iv, plaintext, aad)
+    assert ciphertext.hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091"
+    )
+    assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+
+@given(st.binary(max_size=100), st.binary(max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_round_trip(plaintext, aad):
+    aead = GCM(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(bytes(12), plaintext, aad)
+    assert aead.decrypt(bytes(12), ciphertext, tag, aad) == plaintext
+
+
+def test_tamper_rejected():
+    aead = GCM(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(bytes(12), b"hello world!")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(bytes(12), ciphertext, bytes(16))
+    bad = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(bytes(12), bad, tag)
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(bytes(12), ciphertext, tag, b"unexpected aad")
+
+
+def test_nonce_size_enforced():
+    aead = GCM(AES(bytes(16)))
+    with pytest.raises(NonceError):
+        aead.encrypt(bytes(16), b"x")
+
+
+def test_requires_128_bit_cipher():
+    from repro.primitives.des import DES
+
+    with pytest.raises(ValueError):
+        GCM(DES(bytes(8)))
+
+
+def test_gf128_multiply_identity_and_commutativity():
+    h = 0x66E94BD4EF8A2C3B884CFA59CA342B2E
+    x = 0x0388DACE60B6A392F328C2B971B2FE78
+    assert _gf128_multiply(x, 1 << 127) == x  # 1 in GCM's reflected basis
+    assert _gf128_multiply(h, x) == _gf128_multiply(x, h)
+
+
+def test_ghash_linearity_in_updates():
+    h_key = AES(bytes(16)).encrypt_block(bytes(16))
+    one = GHASH(h_key).update(bytes(32)).update_lengths(0, 32).digest()
+    two = GHASH(h_key).update(bytes(16)).update(bytes(16)).update_lengths(0, 32).digest()
+    assert one == two

@@ -1,0 +1,87 @@
+"""OCB ⊕ PMAC: exhaustive property tests (no offline OCB1 vectors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aead.ocb import OCB
+from repro.errors import AuthenticationError, NonceError
+from repro.primitives.aes import AES
+
+KEY = bytes(range(16))
+NONCE = bytes(16)
+
+
+@given(st.binary(max_size=120), st.binary(max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_round_trip(plaintext, header):
+    aead = OCB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, plaintext, header)
+    assert len(ciphertext) == len(plaintext)
+    assert aead.decrypt(NONCE, ciphertext, tag, header) == plaintext
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 31, 32, 33, 47, 48, 100])
+def test_every_final_block_shape(length):
+    aead = OCB(AES(KEY))
+    plaintext = bytes((i * 3) % 256 for i in range(length))
+    ciphertext, tag = aead.encrypt(NONCE, plaintext, b"hdr")
+    assert aead.decrypt(NONCE, ciphertext, tag, b"hdr") == plaintext
+
+
+@pytest.mark.parametrize("length", [1, 16, 33, 64])
+def test_any_bit_flip_detected(length):
+    aead = OCB(AES(KEY))
+    plaintext = bytes(length)
+    ciphertext, tag = aead.encrypt(NONCE, plaintext)
+    for position in range(len(ciphertext)):
+        bad = bytearray(ciphertext)
+        bad[position] ^= 0x40
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(NONCE, bytes(bad), tag)
+
+
+def test_truncation_detected():
+    aead = OCB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, bytes(48))
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext[:32], tag)
+
+
+def test_header_binding():
+    aead = OCB(AES(KEY))
+    ciphertext, tag = aead.encrypt(NONCE, b"data", b"address-1")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext, tag, b"address-2")
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(NONCE, ciphertext, tag, b"")
+
+
+def test_nonce_binding_and_randomisation():
+    aead = OCB(AES(KEY))
+    n1, n2 = bytes(15) + b"\x01", bytes(15) + b"\x02"
+    c1, t1 = aead.encrypt(n1, b"same sixteen okk")
+    c2, t2 = aead.encrypt(n2, b"same sixteen okk")
+    assert c1 != c2
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(n2, c1, t1)
+
+
+def test_nonce_must_be_block_sized():
+    aead = OCB(AES(KEY))
+    with pytest.raises(NonceError):
+        aead.encrypt(b"short", b"data")
+
+
+def test_header_and_plaintext_cannot_swap_roles():
+    aead = OCB(AES(KEY))
+    c1, t1 = aead.encrypt(NONCE, b"AAAA", b"BBBB")
+    c2, t2 = aead.encrypt(NONCE, b"BBBB", b"AAAA")
+    assert (c1, t1) != (c2, t2)
+
+
+def test_tag_truncation():
+    aead = OCB(AES(KEY), tag_size=12)
+    ciphertext, tag = aead.encrypt(NONCE, b"payload")
+    assert len(tag) == 12
+    assert aead.decrypt(NONCE, ciphertext, tag) == b"payload"

@@ -1,0 +1,62 @@
+"""The Sect. 3.1 collision experiment harness."""
+
+import pytest
+
+from repro.analysis.collision import (
+    collision_sweep,
+    expected_second_preimage_trials,
+    partial_second_preimage_search,
+    run_collision_experiment,
+)
+from repro.core.address import HashMu
+from repro.engine.table import CellAddress
+from repro.primitives.sha1 import SHA1
+
+
+def test_paper_experiment_scale():
+    """1024 addresses, SHA-1/128: paper found 6, expectation ≈ 8."""
+    experiment = run_collision_experiment(1024)
+    assert experiment.expected == pytest.approx(7.99, abs=0.01)
+    assert 1 <= experiment.observed <= 25  # Poisson(8) central mass
+    assert "1024 addresses" in str(experiment)
+
+
+def test_experiment_depends_on_address_set():
+    a = run_collision_experiment(512, start_row=0)
+    b = run_collision_experiment(512, start_row=10_000)
+    # Different address windows: same expectation, independent draws.
+    assert a.expected == b.expected
+
+
+def test_sweep_grows_quadratically():
+    sweep = collision_sweep([256, 512, 1024])
+    assert [e.trial_addresses for e in sweep] == [256, 512, 1024]
+    assert sweep[1].expected == pytest.approx(sweep[0].expected * 4.02, rel=0.05)
+    assert sweep[2].expected == pytest.approx(sweep[1].expected * 4.01, rel=0.05)
+
+
+def test_smaller_block_many_more_collisions():
+    """The b-dependence: an 8-octet block (DES-sized) has a 2^8 condition,
+    so 256 addresses already yield ~127 colliding pairs."""
+    mu = HashMu(SHA1, size=8)
+    experiment = run_collision_experiment(256, mu=mu)
+    assert experiment.block_size == 8
+    assert experiment.expected == pytest.approx(127.5, abs=1)
+    assert experiment.observed > 50
+
+
+def test_second_preimage_search_succeeds_at_small_block():
+    """2^b trials expected; b = 8 keeps it laptop-sized."""
+    mu = HashMu(SHA1, size=8)
+    target = CellAddress(1, 0, 0)
+    trials = partial_second_preimage_search(target, max_trials=20_000, mu=mu)
+    assert trials is not None
+    assert trials <= 20_000
+    assert expected_second_preimage_trials(8) == 256
+
+
+def test_second_preimage_search_can_exhaust():
+    mu = HashMu(SHA1, size=16)
+    target = CellAddress(1, 0, 0)
+    # 50 trials against a 2^16 condition: virtually certain to fail.
+    assert partial_second_preimage_search(target, max_trials=50, mu=mu) is None

@@ -1,0 +1,65 @@
+"""Encryption-granularity cost analysis."""
+
+import pytest
+
+from repro.aead.ccfb import CCFB
+from repro.aead.eax import EAX
+from repro.analysis.granularity import (
+    GranularityCost,
+    granularity_comparison,
+    measure_granularity,
+)
+from repro.primitives.aes import AES
+
+ROWS = [[b"k" * 8, b"some-name-value", b"a-diagnosis-str"] for _ in range(40)]
+
+
+def test_records_per_granularity():
+    aead = EAX(AES(bytes(16)))
+    cell, row, table = granularity_comparison(aead, ROWS)
+    assert cell.records == 40 * 3
+    assert row.records == 40
+    assert table.records == 1
+
+
+def test_overhead_shrinks_with_coarser_granularity():
+    aead = EAX(AES(bytes(16)))
+    cell, row, table = granularity_comparison(aead, ROWS)
+    assert cell.overhead_octets > row.overhead_octets > table.overhead_octets
+    assert cell.overhead_ratio > 1.0     # per-cell overhead dominates small cells
+    # Table granularity still pays 4-byte cell framing plus one record.
+    assert table.overhead_ratio < 0.5
+    assert table.overhead_ratio < row.overhead_ratio < cell.overhead_ratio
+
+
+def test_update_amplification_grows_with_coarser_granularity():
+    aead = EAX(AES(bytes(16)))
+    cell, row, table = granularity_comparison(aead, ROWS)
+    assert cell.update_amplification < row.update_amplification
+    assert row.update_amplification < table.update_amplification
+
+
+def test_cell_overhead_matches_sect4_accounting():
+    """Per-cell: exactly nonce+tag per cell, zero ciphertext expansion."""
+    aead = EAX(AES(bytes(16)))
+    cost = measure_granularity(aead, ROWS, "cell")
+    assert cost.overhead_octets == cost.records * 32
+
+
+def test_ccfb_halves_the_per_record_cost():
+    eax_cost = measure_granularity(EAX(AES(bytes(16))), ROWS, "cell")
+    ccfb_cost = measure_granularity(CCFB(AES(bytes(16))), ROWS, "cell")
+    assert ccfb_cost.overhead_octets == eax_cost.overhead_octets // 2
+
+
+def test_unknown_granularity_rejected():
+    with pytest.raises(ValueError):
+        measure_granularity(EAX(AES(bytes(16))), ROWS, "page")
+
+
+def test_empty_table():
+    aead = EAX(AES(bytes(16)))
+    cost = measure_granularity(aead, [], "cell")
+    assert cost.records == 0
+    assert cost.stored_octets == 0
+    assert cost.overhead_ratio == 0.0

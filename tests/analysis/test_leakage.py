@@ -1,0 +1,72 @@
+"""The unified leakage profiler."""
+
+import pytest
+
+from repro.analysis.leakage import PROBES, profile_configuration, profile_matrix
+from repro.core.encrypted_db import EncryptionConfig
+
+
+def test_probe_catalogue_is_stable():
+    assert PROBES == (
+        "equality", "prefix", "frequency", "index_linkage",
+        "cell_forgery", "access_pattern",
+    )
+
+
+def test_broken_configuration_leaks_everything():
+    """The paper's headline in one assertion: the [3]+[12] instantiation
+    leaks exactly as much as storing plaintext."""
+    profile = profile_configuration(
+        EncryptionConfig(cell_scheme="append", index_scheme="sdm2004"),
+        rows=18,
+    )
+    assert profile.leak_count == len(PROBES)
+
+
+def test_plaintext_leaks_everything_by_inspection():
+    profile = profile_configuration(
+        EncryptionConfig(cell_scheme="plain", index_scheme="plain"), rows=18
+    )
+    assert profile.leak_count == len(PROBES)
+
+
+def test_fix_leaks_only_access_patterns():
+    profile = profile_configuration(EncryptionConfig.paper_fixed("eax"), rows=18)
+    assert profile.results["access_pattern"] is True
+    assert profile.leak_count == 1
+    for probe in PROBES:
+        if probe != "access_pattern":
+            assert not profile.leaks(probe), probe
+
+
+def test_random_iv_halves_the_profile():
+    profile = profile_configuration(
+        EncryptionConfig(
+            cell_scheme="append", index_scheme="sdm2004", iv_policy="random"
+        ),
+        rows=18,
+    )
+    assert profile.results["cell_forgery"] is True      # authenticity still broken
+    assert profile.results["access_pattern"] is True
+    assert not profile.results["prefix"]
+    assert not profile.results["equality"]
+    assert profile.leak_count == 2
+
+
+def test_matrix_ordering_and_rows():
+    configs = [
+        ("a", EncryptionConfig(cell_scheme="plain", index_scheme="plain")),
+        ("b", EncryptionConfig.paper_fixed("eax")),
+    ]
+    matrix = profile_matrix(configs, rows=12)
+    assert [p.config_label for p in matrix] == ["a", "b"]
+    row = matrix[0].row()
+    assert row[0] == "a"
+    assert len(row) == 1 + len(PROBES)
+
+
+def test_profiles_are_deterministic():
+    config = EncryptionConfig.paper_fixed("ccfb")
+    a = profile_configuration(config, rows=12)
+    b = profile_configuration(config, rows=12)
+    assert a.results == b.results

@@ -1,0 +1,30 @@
+"""The table formatter behind the benchmark output."""
+
+from repro.analysis.report import format_table
+
+
+def test_alignment_and_caption():
+    table = format_table(
+        ["scheme", "octets"],
+        [["eax", 32], ["ccfb", 16]],
+        caption="storage overhead",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "storage overhead"
+    assert lines[1].startswith("scheme")
+    assert "---" in lines[2]
+    assert lines[3].split() == ["eax", "32"]
+
+
+def test_float_and_bool_rendering():
+    table = format_table(["a", "b", "c"], [[1.5, 0.333333, True], [2.0, 8.0, False]])
+    assert "1.5" in table
+    assert "0.333" in table
+    assert "yes" in table and "no" in table
+    assert "2  " in table or " 2" in table  # 2.0 renders as 2
+
+
+def test_wide_cells_stretch_columns():
+    table = format_table(["x"], [["very-long-cell-content"]])
+    header, rule, row = table.splitlines()
+    assert len(rule) >= len("very-long-cell-content")

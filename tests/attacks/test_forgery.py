@@ -1,0 +1,118 @@
+"""E2/E5: CBC cut-and-paste forgeries against cells and [3]-indexes."""
+
+import pytest
+
+from repro.attacks.forgery import (
+    evaluate_append_forgery,
+    evaluate_index_forgery,
+    forge_append_cell,
+    forge_index_entry,
+    forgeable_block_count,
+)
+from repro.core.encrypted_db import EncryptionConfig
+from repro.workloads.datasets import build_documents_db
+
+VALUE_LENGTH = 64  # 4 blocks of body text in the documents dataset
+
+
+def broken_db(rows=6):
+    return build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="sdm2004"),
+        rows=rows,
+    )
+
+
+def fixed_db(rows=6):
+    return build_documents_db(EncryptionConfig.paper_fixed("eax"), rows=rows)
+
+
+def test_forgeable_block_count_arithmetic():
+    # 64-byte value = 4 fully-V blocks → positions 0..2 are forgeable.
+    assert forgeable_block_count(64, mu_size=16) == 3
+    assert forgeable_block_count(40, mu_size=16) == 1
+    assert forgeable_block_count(16, mu_size=16) == 0
+    assert forgeable_block_count(0, mu_size=16) == 0
+
+
+def test_single_cell_forgery_accepted():
+    db = broken_db()
+    result = forge_append_cell(
+        db, db.storage_view(), "documents", 0, 1, "body", block_index=0
+    )
+    assert result.accepted
+    assert result.value_changed
+    assert result.is_existential_forgery
+
+
+def test_modifying_block_adjacent_to_checksum_is_detected():
+    """Blocks ≥ s−1 bleed into the µ blocks; the checksum then fails —
+    the boundary of the paper's attack."""
+    db = broken_db()
+    result = forge_append_cell(
+        db, db.storage_view(), "documents", 0, 1, "body", block_index=3
+    )
+    assert not result.accepted
+
+
+def test_full_forgery_sweep_is_total():
+    db = broken_db()
+    outcome = evaluate_append_forgery(
+        db, db.storage_view(), "documents", 1, "body", VALUE_LENGTH, "append"
+    )
+    assert outcome.succeeded
+    assert outcome.metrics["rate"] == 1.0
+    assert outcome.metrics["attempts"] == 6 * 3  # rows × forgeable blocks
+
+
+def test_forgery_restores_storage_after_each_attempt():
+    db = broken_db()
+    before = db.storage_view().cell("documents", 0, 1)
+    forge_append_cell(db, db.storage_view(), "documents", 0, 1, "body")
+    assert db.storage_view().cell("documents", 0, 1) == before
+
+
+def test_aead_cells_reject_every_modification():
+    db = fixed_db()
+    outcome = evaluate_append_forgery(
+        db, db.storage_view(), "documents", 1, "body", VALUE_LENGTH, "aead"
+    )
+    assert not outcome.succeeded
+    assert outcome.metrics["forgeries"] == 0
+
+
+def test_random_iv_does_not_stop_forgery():
+    """The ablation the paper implies: randomising the IV fixes pattern
+    matching but NOT authenticity — encryption alone never does."""
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain", iv_policy="random"),
+        rows=4,
+    )
+    outcome = evaluate_append_forgery(
+        db, db.storage_view(), "documents", 1, "body", VALUE_LENGTH,
+        "append/random-iv",
+    )
+    assert outcome.succeeded
+    assert outcome.metrics["rate"] > 0.9
+
+
+def test_index_entry_forgery_sdm2004():
+    db = broken_db()
+    index = db.index("documents_by_body").structure
+    rows = [row.row_id for row in index.raw_rows() if not row.deleted]
+    result = forge_index_entry(index, rows[0], block_index=0)
+    assert result.is_existential_forgery
+
+
+def test_index_forgery_sweep():
+    db = broken_db()
+    index = db.index("documents_by_body").structure
+    outcome = evaluate_index_forgery(index, VALUE_LENGTH, "sdm2004")
+    assert outcome.succeeded
+    assert outcome.metrics["rate"] == 1.0
+
+
+def test_aead_index_rejects_forgery():
+    db = fixed_db()
+    index = db.index("documents_by_body").structure
+    outcome = evaluate_index_forgery(index, VALUE_LENGTH, "aead")
+    assert not outcome.succeeded

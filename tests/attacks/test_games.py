@@ -1,0 +1,60 @@
+"""E8: the empirical security games."""
+
+import pytest
+
+from repro.attacks.games import equality_distinguisher_game, tamper_game
+from repro.core.encrypted_db import EncryptionConfig
+
+
+def test_deterministic_schemes_lose_the_lr_game():
+    result = equality_distinguisher_game(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"), trials=24
+    )
+    assert result.advantage == 1.0
+    assert result.wins == result.trials
+
+
+def test_fixed_scheme_reduces_adversary_to_guessing():
+    result = equality_distinguisher_game(
+        EncryptionConfig.paper_fixed("eax"), trials=24
+    )
+    # 24 Bernoulli(1/2) trials: advantage 1.0 would need all-right or
+    # all-wrong (p ≈ 2^-23); anything below ~0.6 is consistent with 1/2.
+    assert result.advantage < 0.6
+
+
+def test_random_iv_ablation_also_wins_privacy_game():
+    result = equality_distinguisher_game(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain", iv_policy="random"),
+        trials=16,
+    )
+    assert result.advantage < 0.7
+
+
+def test_advantage_arithmetic():
+    from repro.attacks.games import GameResult
+
+    assert GameResult(10, 10).advantage == 1.0
+    assert GameResult(10, 5).advantage == 0.0
+    assert GameResult(10, 0).advantage == 1.0  # always-wrong is also a distinguisher
+    assert GameResult(0, 0).advantage == 0.0
+
+
+def test_broken_scheme_loses_tamper_game():
+    outcome = tamper_game(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"), trials=6
+    )
+    assert outcome.succeeded
+    assert outcome.metrics["accepted"] > 0
+
+
+def test_fixed_scheme_wins_tamper_game():
+    outcome = tamper_game(EncryptionConfig.paper_fixed("eax"), trials=6)
+    assert not outcome.succeeded
+    assert outcome.metrics["accepted"] == 0
+
+
+@pytest.mark.parametrize("aead", ["ocb", "ccfb"])
+def test_other_aeads_also_win_tamper_game(aead):
+    outcome = tamper_game(EncryptionConfig.paper_fixed(aead), trials=4)
+    assert not outcome.succeeded

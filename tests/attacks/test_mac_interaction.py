@@ -1,0 +1,107 @@
+"""E7: the §3.3 encrypt-and-MAC interaction forgery against [12]."""
+
+import pytest
+
+from repro.attacks.mac_interaction import (
+    evaluate_mac_interaction,
+    forge_entry_via_mac_interaction,
+    replaceable_blocks,
+)
+from repro.core.encrypted_db import EncryptionConfig
+from repro.engine.indextable import IndexTable
+from repro.workloads.datasets import build_documents_db
+
+VALUE_LENGTH = 64
+
+
+def build(shared_key=True, leaf_bug=True, iv="zero"):
+    return build_documents_db(
+        EncryptionConfig(
+            cell_scheme="append",
+            index_scheme="dbsec2005",
+            mac_shared_key=shared_key,
+            faithful_leaf_bug=leaf_bug,
+            iv_policy=iv,
+        ),
+        rows=8,
+    )
+
+
+def first_live_row(index: IndexTable) -> int:
+    return next(row.row_id for row in index.raw_rows() if not row.deleted)
+
+
+def test_replaceable_blocks_arithmetic():
+    assert replaceable_blocks(64) == 3
+    assert replaceable_blocks(32) == 1
+    assert replaceable_blocks(31) == 0
+    assert replaceable_blocks(16) == 0
+
+
+def test_single_entry_forgery_verifies():
+    db = build()
+    index = db.index("documents_by_body").structure
+    result = forge_entry_via_mac_interaction(
+        index, first_live_row(index), VALUE_LENGTH
+    )
+    assert result.accepted        # the MAC verified the forged entry
+    assert result.value_changed   # yet V changed — authenticity broken
+    assert result.blocks_replaced == 3
+
+
+def test_sweep_forges_every_entry():
+    db = build()
+    index = db.index("documents_by_body").structure
+    outcome = evaluate_mac_interaction(index, VALUE_LENGTH, "shared-key")
+    assert outcome.succeeded
+    assert outcome.metrics["rate"] == 1.0
+
+
+def test_independent_mac_key_stops_the_attack():
+    """The ablation: break the chain identity and the forgery dies,
+    while everything else about the scheme stays the same."""
+    db = build(shared_key=False)
+    index = db.index("documents_by_body").structure
+    outcome = evaluate_mac_interaction(index, VALUE_LENGTH, "independent-key")
+    assert not outcome.succeeded
+    assert outcome.metrics["forgeries"] == 0
+
+
+def test_random_iv_also_stops_this_particular_attack():
+    """With a random IV the MAC chain (zero-IV) no longer mirrors the
+    encryption chain, so the §3.3 coincidence disappears — though the
+    scheme remains deterministic-prefix-leaky elsewhere."""
+    db = build(iv="random")
+    index = db.index("documents_by_body").structure
+    outcome = evaluate_mac_interaction(index, VALUE_LENGTH, "random-iv")
+    assert not outcome.succeeded
+
+
+def test_short_values_are_not_attackable():
+    """V must span ≥ 2 full blocks; the attack reports failure cleanly
+    otherwise instead of producing a detectable mangling."""
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="dbsec2005"),
+        rows=4, prefix_blocks=0 + 1, total_blocks=2,  # 32-byte bodies
+    )
+    index = db.index("documents_by_body").structure
+    result = forge_entry_via_mac_interaction(index, first_live_row(index), 16)
+    assert not result.accepted and result.blocks_replaced == 0
+
+
+def test_wrong_codec_type_rejected():
+    db = build_documents_db(EncryptionConfig.paper_fixed("eax"), rows=4)
+    index = db.index("documents_by_body").structure
+    with pytest.raises(TypeError):
+        forge_entry_via_mac_interaction(index, first_live_row(index), VALUE_LENGTH)
+
+
+def test_forged_plaintext_is_attacker_influenced():
+    """The garbled V' is a deterministic function of the attacker's
+    chosen blocks — this is controlled substitution, not noise."""
+    db = build()
+    index = db.index("documents_by_body").structure
+    row_id = first_live_row(index)
+    r1 = forge_entry_via_mac_interaction(index, row_id, VALUE_LENGTH, b"\xa5")
+    r2 = forge_entry_via_mac_interaction(index, row_id, VALUE_LENGTH, b"\x3c")
+    assert r1.is_forgery and r2.is_forgery

@@ -1,0 +1,109 @@
+"""E1: pattern matching on cells; X2: keystream reuse."""
+
+import pytest
+
+from repro.attacks.pattern_matching import (
+    comparable_ciphertext,
+    evaluate_pattern_matching,
+    find_cell_prefix_matches,
+    keystream_reuse_break,
+)
+from repro.core.encrypted_db import EncryptionConfig
+from repro.modes.ctr import CTR
+from repro.primitives.aes import AES
+from repro.workloads.datasets import build_documents_db
+
+
+def true_pairs(rows: int, groups: int) -> set[tuple[int, int]]:
+    return {
+        (i, j)
+        for i in range(rows)
+        for j in range(i + 1, rows)
+        if i % groups == j % groups
+    }
+
+
+def test_append_scheme_leaks_all_prefix_pairs():
+    rows, groups = 24, 6
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"),
+        rows=rows, groups=groups, index_kind=None,
+    )
+    outcome = evaluate_pattern_matching(
+        db.storage_view(), "documents", 1, true_pairs(rows, groups), "append"
+    )
+    assert outcome.succeeded
+    assert outcome.metrics["recall"] == 1.0
+    assert outcome.metrics["precision"] == 1.0
+
+
+def test_shared_block_count_matches_prefix_length():
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain"),
+        rows=12, prefix_blocks=3, total_blocks=5, groups=3, index_kind=None,
+    )
+    matches = find_cell_prefix_matches(db.storage_view(), "documents", 1)
+    assert matches
+    assert all(m.shared_blocks == 3 for m in matches)
+
+
+def test_xor_scheme_resists_prefix_matching():
+    """Under eq. (1) µ masks the first block, and CBC chaining cascades
+    that difference through every later block — so the XOR-Scheme is
+    *not* vulnerable to the prefix-matching attack.  (Sect. 3.1 breaks
+    it via substitution instead, see test_substitution.py.)"""
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="xor", index_scheme="plain"),
+        rows=8, groups=2, index_kind=None,
+    )
+    cells = db.storage_view().cells("documents", 1)
+    ct_a = cells[0][1]
+    ct_b = cells[2][1]  # same shared-prefix group as row 0
+    assert ct_a[:16] != ct_b[:16]
+    assert ct_a[16:32] != ct_b[16:32]  # CBC cascades the µ difference
+    matches = find_cell_prefix_matches(db.storage_view(), "documents", 1)
+    assert matches == []
+
+
+def test_aead_scheme_leaks_nothing():
+    rows, groups = 24, 6
+    db = build_documents_db(
+        EncryptionConfig.paper_fixed("eax"), rows=rows, groups=groups,
+        index_kind=None,
+    )
+    outcome = evaluate_pattern_matching(
+        db.storage_view(), "documents", 1, true_pairs(rows, groups), "aead"
+    )
+    assert not outcome.succeeded
+    assert outcome.metrics["claimed"] == 0
+
+
+def test_random_iv_ablation_stops_pattern_matching():
+    rows, groups = 16, 4
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="append", index_scheme="plain", iv_policy="random"),
+        rows=rows, groups=groups, index_kind=None,
+    )
+    outcome = evaluate_pattern_matching(
+        db.storage_view(), "documents", 1, true_pairs(rows, groups), "append/random-iv"
+    )
+    assert not outcome.succeeded
+
+
+def test_comparable_ciphertext_unwraps_stored_entries():
+    from repro.aead.base import StoredEntry
+
+    entry = StoredEntry(b"nonce-bytes", b"the-ciphertext", b"tag")
+    assert comparable_ciphertext(entry.to_bytes()) == b"the-ciphertext"
+    assert comparable_ciphertext(b"raw cbc bytes") == b"raw cbc bytes"
+
+
+def test_keystream_reuse_break_recovers_plaintext():
+    """X2 / footnote 2: one known plaintext breaks all other messages."""
+    mode = CTR(AES(bytes(16)))
+    known_plain = b"the known message contents!!"
+    secret_plain = b"the secret message contents!"
+    c_known = mode.encrypt(known_plain)
+    c_secret = mode.encrypt(secret_plain)
+    recovered = keystream_reuse_break(c_known, known_plain, c_secret)
+    assert recovered == secret_plain

@@ -1,0 +1,111 @@
+"""E3: the XOR-Scheme substitution attack and the collision experiment."""
+
+import pytest
+
+from repro.attacks.substitution import (
+    evaluate_substitution,
+    expected_collisions,
+    find_partial_collisions,
+    predicted_relocated_value,
+    relocate_ciphertext,
+    running_row_addresses,
+)
+from repro.core.address import KeyedMu
+from repro.core.cellcrypto import ascii_validator
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.table import CellAddress
+from repro.primitives.util import is_ascii
+from repro.workloads.generators import default_rng, single_block_ascii
+
+MASTER = b"substitution-test-master-key-012"
+SCHEMA = TableSchema("cells", [Column("v", ColumnType.TEXT)])
+
+
+def build_xor_db(rows: int) -> EncryptedDatabase:
+    config = EncryptionConfig(
+        cell_scheme="xor", index_scheme="plain", xor_validator=ascii_validator
+    )
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    rng = default_rng("substitution")
+    for _ in range(rows):
+        db.insert("cells", [single_block_ascii(rng)])
+    return db
+
+
+def test_expected_collision_count_formula():
+    # C(1024, 2) / 2^16 ≈ 7.99 — the paper found 6, we should land nearby.
+    assert abs(expected_collisions(1024) - 7.99) < 0.01
+    assert expected_collisions(2048) == pytest.approx(31.98, abs=0.1)
+
+
+def test_running_addresses_shape():
+    addresses = running_row_addresses(3, 1, 10, start_row=5)
+    assert len(addresses) == 10
+    assert addresses[0] == CellAddress(3, 5, 1)
+    assert all(a.table == 3 and a.column == 1 for a in addresses)
+
+
+def test_collision_scan_finds_birthday_count():
+    addresses = running_row_addresses(1, 0, 1024)
+    collisions = find_partial_collisions(addresses)
+    # Within generous Poisson bounds of the expectation ≈ 8.
+    assert 1 <= len(collisions) <= 25
+
+
+def test_keyed_mu_blocks_offline_scan():
+    """With HMAC-µ the adversary cannot evaluate µ; scanning with the
+    *public* hash yields pairs that do not actually collide under the
+    keyed µ used by the scheme."""
+    addresses = running_row_addresses(1, 0, 256)
+    public_collisions = find_partial_collisions(addresses)
+    keyed = KeyedMu(b"the-secret-mu-key")
+    keyed_collisions = find_partial_collisions(addresses, keyed)
+    public_pairs = {(c.address_a, c.address_b) for c in public_collisions}
+    keyed_pairs = {(c.address_a, c.address_b) for c in keyed_collisions}
+    # The two scans disagree (up to negligible coincidence).
+    assert public_pairs != keyed_pairs or not public_pairs
+
+
+def test_relocation_is_accepted_and_predictable():
+    db = build_xor_db(1024)
+    storage = db.storage_view()
+    table_id = storage.table_id("cells")
+    collisions = find_partial_collisions(running_row_addresses(table_id, 0, 1024))
+    assert collisions, "1024 addresses should yield collisions (exp ≈ 8)"
+    collision = collisions[0]
+    original_at_a = db.get_cell_plaintext("cells", collision.address_a.row, "v")
+    result = relocate_ciphertext(db, storage, "cells", 0, "v", collision)
+    assert result.accepted
+    assert result.moved_value != result.original_value
+    assert is_ascii(result.moved_value)
+    # The adversary can predict the implanted value exactly.
+    assert result.moved_value == predicted_relocated_value(original_at_a, collision)
+
+
+def test_full_experiment_outcome():
+    db = build_xor_db(1024)
+    outcome = evaluate_substitution(
+        db, db.storage_view(), "cells", 0, "v", 1024, "xor"
+    )
+    assert outcome.succeeded
+    assert outcome.metrics["collisions"] >= 1
+    assert outcome.metrics["relocations_accepted"] == outcome.metrics[
+        "relocations_attempted"
+    ]
+    assert outcome.metrics["expected_collisions"] == pytest.approx(7.99, abs=0.01)
+
+
+def test_attack_fails_against_aead_cells():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    rng = default_rng("substitution-aead")
+    for _ in range(256):
+        db.insert("cells", [single_block_ascii(rng)])
+    outcome = evaluate_substitution(
+        db, db.storage_view(), "cells", 0, "v", 256, "aead"
+    )
+    assert not outcome.succeeded
+    assert outcome.metrics["relocations_accepted"] == 0

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.primitives.aes import AES
+from repro.primitives.rng import DeterministicRandom
+
+MASTER_KEY = b"test-master-key-0123456789abcdef"
+
+
+@pytest.fixture
+def rng() -> DeterministicRandom:
+    return DeterministicRandom("test-seed")
+
+
+@pytest.fixture
+def aes128() -> AES:
+    return AES(bytes(range(16)))
+
+
+@pytest.fixture
+def people_schema() -> TableSchema:
+    return TableSchema(
+        "people",
+        [
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INT),
+        ],
+    )
+
+
+def make_db(config: EncryptionConfig, key: bytes = MASTER_KEY) -> EncryptedDatabase:
+    return EncryptedDatabase(key, config)
+
+
+@pytest.fixture
+def fixed_db(people_schema) -> EncryptedDatabase:
+    db = make_db(EncryptionConfig.paper_fixed("eax"))
+    db.create_table(people_schema)
+    return db

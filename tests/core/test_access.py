@@ -1,0 +1,129 @@
+"""Key-enforced discretionary access control ([12]'s Sect. 2.1 model)."""
+
+import pytest
+
+from repro.core.access import AccessController, ColumnKeyedCellScheme
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig, _make_aead
+from repro.engine.query import PointQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import AuthenticationError, SchemaError
+
+MASTER = b"access-test-master-key-012345678"
+
+SCHEMA = TableSchema("emp", [
+    Column("name", ColumnType.TEXT),
+    Column("salary", ColumnType.INT),
+    Column("notes", ColumnType.TEXT),
+])
+
+
+def build():
+    config = EncryptionConfig.paper_fixed("eax").with_(per_column_keys=True)
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    db.insert("emp", ["alice", 100_000, "excellent"])
+    db.insert("emp", ["bob", 90_000, "solid"])
+    controller = AccessController(db, db.cell_codec, lambda k: _make_aead("eax", k))
+    return db, controller
+
+
+def test_per_column_scheme_round_trips_through_database():
+    db, _ = build()
+    assert db.get_row("emp", 0) == ["alice", 100_000, "excellent"]
+    db.create_index("by_salary", "emp", "salary")
+    assert PointQuery("emp", "salary", 90_000).execute(db).row_ids() == [1]
+
+
+def test_columns_use_distinct_keys():
+    db, _ = build()
+    scheme = db.cell_codec
+    table_id = db.table("emp").table_id
+    keys = {scheme.column_key(table_id, c) for c in range(3)}
+    assert len(keys) == 3
+
+
+def test_granted_column_readable():
+    db, controller = build()
+    controller.grant("hr", "emp", "salary")
+    credential = controller.credential_for("hr")
+    stored = db.storage_view().cell("emp", 0, 1)
+    address = db.table("emp").address(0, 1)
+    plaintext = credential.decrypt_cell(stored, "emp", "salary", address)
+    assert plaintext == (100_000 + 2**63).to_bytes(8, "big")
+
+
+def test_ungranted_column_unreadable_and_opaque():
+    db, controller = build()
+    controller.grant("intern", "emp", "name")
+    credential = controller.credential_for("intern")
+    stored = db.storage_view().cell("emp", 0, 1)
+    address = db.table("emp").address(0, 1)
+    with pytest.raises(AuthenticationError) as excinfo:
+        credential.decrypt_cell(stored, "emp", "salary", address)
+    # Missing grant and tampering are indistinguishable.
+    assert str(excinfo.value) == "invalid"
+
+
+def test_credential_cannot_decrypt_wrong_position():
+    """A credential holds column keys, not a bypass: the AD still binds
+    the full cell address, so cross-row relocation fails."""
+    db, controller = build()
+    controller.grant("hr", "emp", "name")
+    credential = controller.credential_for("hr")
+    stored_row0 = db.storage_view().cell("emp", 0, 0)
+    wrong_address = db.table("emp").address(1, 0)
+    with pytest.raises(AuthenticationError):
+        credential.decrypt_cell(stored_row0, "emp", "name", wrong_address)
+
+
+def test_grants_and_revocation():
+    db, controller = build()
+    controller.grant("hr", "emp", "name")
+    controller.grant("hr", "emp", "salary")
+    assert len(controller.grants_for("hr")) == 2
+    assert controller.revoke("hr", "emp", "salary")
+    assert not controller.revoke("hr", "emp", "salary")  # already gone
+    credential = controller.credential_for("hr")
+    assert credential.granted_columns == [("emp", "name")]
+    assert credential.can_read("emp", "name")
+    assert not credential.can_read("emp", "salary")
+
+
+def test_old_credentials_survive_revocation():
+    """The documented key-based-DAC caveat: revocation gates future
+    issuance; already-issued credentials need a key rotation."""
+    db, controller = build()
+    controller.grant("hr", "emp", "salary")
+    old_credential = controller.credential_for("hr")
+    controller.revoke("hr", "emp", "salary")
+    stored = db.storage_view().cell("emp", 0, 1)
+    address = db.table("emp").address(0, 1)
+    # Still decrypts — the key itself was not rotated.
+    assert old_credential.decrypt_cell(stored, "emp", "salary", address)
+
+
+def test_grant_validates_names():
+    db, controller = build()
+    with pytest.raises(Exception):
+        controller.grant("x", "ghost", "name")
+    with pytest.raises(SchemaError):
+        controller.grant("x", "emp", "ghost")
+
+
+def test_controller_requires_matching_scheme():
+    db, _ = build()
+    other_db = EncryptedDatabase(
+        MASTER, EncryptionConfig.paper_fixed("eax").with_(per_column_keys=True)
+    )
+    other_db.create_table(SCHEMA)
+    with pytest.raises(SchemaError):
+        AccessController(db, other_db.cell_codec, lambda k: _make_aead("eax", k))
+
+
+def test_malformed_stored_bytes_rejected():
+    db, controller = build()
+    controller.grant("hr", "emp", "name")
+    credential = controller.credential_for("hr")
+    address = db.table("emp").address(0, 0)
+    with pytest.raises(AuthenticationError):
+        credential.decrypt_cell(b"garbage", "emp", "name", address)

@@ -1,0 +1,58 @@
+"""The address-checksum function µ."""
+
+import pytest
+
+from repro.core.address import HashMu, KeyedMu, default_mu
+from repro.engine.table import CellAddress
+from repro.primitives.sha1 import sha1
+from repro.primitives.sha256 import SHA256
+
+
+def test_default_mu_is_sha1_128():
+    """Sect. 3.1: SHA-1 truncated to the first 128 bits."""
+    mu = default_mu()
+    address = CellAddress(1, 2, 3)
+    assert mu(address) == sha1(address.encode())[:16]
+    assert mu.size == 16
+    assert mu.name == "sha1/128"
+
+
+def test_mu_deterministic_and_address_sensitive():
+    mu = default_mu()
+    a = CellAddress(1, 2, 3)
+    assert mu(a) == mu(CellAddress(1, 2, 3))
+    assert mu(a) != mu(CellAddress(1, 2, 4))
+    assert mu(a) != mu(CellAddress(1, 3, 3))
+    assert mu(a) != mu(CellAddress(2, 2, 3))
+
+
+def test_hash_mu_other_sizes_and_hashes():
+    mu = HashMu(SHA256, size=20)
+    assert mu.size == 20
+    assert len(mu(CellAddress(0, 0, 0))) == 20
+    with pytest.raises(ValueError):
+        HashMu(SHA256, size=33)
+    with pytest.raises(ValueError):
+        HashMu(SHA256, size=0)
+
+
+def test_keyed_mu_depends_on_key():
+    address = CellAddress(5, 6, 7)
+    mu_a = KeyedMu(b"key-a")
+    mu_b = KeyedMu(b"key-b")
+    assert mu_a(address) != mu_b(address)
+    assert mu_a(address) == KeyedMu(b"key-a")(address)
+    assert len(mu_a(address)) == 16
+
+
+def test_keyed_mu_cannot_be_evaluated_without_key():
+    """The point of keying µ: the public hash no longer predicts it."""
+    address = CellAddress(1, 1, 1)
+    assert KeyedMu(b"secret")(address) != HashMu()(address)
+
+
+def test_keyed_mu_size_bounds():
+    with pytest.raises(ValueError):
+        KeyedMu(b"k", size=0)
+    with pytest.raises(ValueError):
+        KeyedMu(b"k", size=64)

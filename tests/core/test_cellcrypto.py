@@ -1,0 +1,199 @@
+"""Cell encryption schemes: eq. (1), eq. (2), and the fix (eqs. 23–24)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aead.eax import EAX
+from repro.core.address import default_mu
+from repro.core.cellcrypto import (
+    AeadCellScheme,
+    AppendScheme,
+    XorScheme,
+    ascii_validator,
+)
+from repro.engine.table import CellAddress
+from repro.errors import AuthenticationError, DecryptionError
+from repro.modes.base import RandomIV, ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.rng import CountingNonceSource, DeterministicRandom
+
+KEY = bytes(range(16))
+ADDRESS = CellAddress(1, 42, 2)
+OTHER = CellAddress(1, 43, 2)
+
+
+def xor_scheme(**kwargs) -> XorScheme:
+    return XorScheme(CBC(AES(KEY), ZeroIV()), **kwargs)
+
+
+def append_scheme(iv=None) -> AppendScheme:
+    policy = iv if iv is not None else ZeroIV()
+    return AppendScheme(CBC(AES(KEY), policy))
+
+
+def aead_scheme() -> AeadCellScheme:
+    return AeadCellScheme(EAX(AES(KEY)), CountingNonceSource(16))
+
+
+# ---- XOR-Scheme -----------------------------------------------------------
+
+
+@given(st.binary(min_size=16, max_size=80))
+@settings(max_examples=30, deadline=None)
+def test_xor_round_trip(value):
+    scheme = xor_scheme()
+    assert scheme.decode_cell(scheme.encode_cell(value, ADDRESS), ADDRESS) == value
+
+
+def test_xor_masks_only_mu_prefix():
+    """Eq. (1) with the paper's zero-extension convention: µ covers the
+    first 16 bytes; the rest of a long value is encrypted unmasked."""
+    scheme = xor_scheme()
+    value = b"A" * 40
+    stored = scheme.encode_cell(value, ADDRESS)
+    mode = CBC(AES(KEY), ZeroIV())
+    raw = mode.decrypt(stored)
+    mu = default_mu()(ADDRESS)
+    assert raw[:16] == bytes(a ^ b for a, b in zip(value[:16], mu))
+    assert raw[16:] == value[16:]
+
+
+def test_xor_short_values_come_back_zero_extended():
+    """The scheme is lossy for values shorter than µ — a documented
+    sharp edge of eq. (1)."""
+    scheme = xor_scheme()
+    stored = scheme.encode_cell(b"short", ADDRESS)
+    decoded = scheme.decode_cell(stored, ADDRESS)
+    assert decoded[:5] == b"short"
+    assert decoded == b"short" + bytes(11)
+
+
+def test_xor_has_no_position_authentication():
+    """Moving a ciphertext to another cell yields V ⊕ µ ⊕ µ' — garbage,
+    but *accepted* absent redundancy (the integrity failure of §3.1)."""
+    scheme = xor_scheme()
+    stored = scheme.encode_cell(b"P" * 16, ADDRESS)
+    moved = scheme.decode_cell(stored, OTHER)
+    assert moved != b"P" * 16  # silently wrong, no error raised
+
+
+def test_xor_validator_rejects_non_ascii():
+    scheme = xor_scheme(validator=ascii_validator)
+    stored = scheme.encode_cell(b"ascii text here!", ADDRESS)
+    assert scheme.decode_cell(stored, ADDRESS) == b"ascii text here!"
+    with pytest.raises(DecryptionError):
+        scheme.decode_cell(stored, OTHER)  # µ delta flips high bits w.h.p.
+
+
+def test_xor_deterministic_flag():
+    assert xor_scheme().deterministic
+    random_mode = CBC(AES(KEY), RandomIV(DeterministicRandom("x")))
+    assert not XorScheme(random_mode).deterministic
+
+
+# ---- Append-Scheme ---------------------------------------------------------
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_append_round_trip(value):
+    scheme = append_scheme()
+    assert scheme.decode_cell(scheme.encode_cell(value, ADDRESS), ADDRESS) == value
+
+
+def test_append_detects_relocation():
+    """The goal eq. (2) *does* achieve against naive relocation: the
+    address checksum is position-bound."""
+    scheme = append_scheme()
+    stored = scheme.encode_cell(b"value", ADDRESS)
+    with pytest.raises(AuthenticationError):
+        scheme.decode_cell(stored, OTHER)
+
+
+def test_append_ciphertext_contains_mu_blocks():
+    scheme = append_scheme()
+    value = b"V" * 16
+    mode = CBC(AES(KEY), ZeroIV())
+    assert scheme.encode_cell(value, ADDRESS) == mode.encrypt(
+        value + default_mu()(ADDRESS)
+    )
+
+
+def test_append_equal_values_equal_ciphertext_prefixes():
+    """The pattern-matching leak of §3.1 at scheme level."""
+    scheme = append_scheme()
+    a = scheme.encode_cell(b"P" * 32 + b"one", ADDRESS)
+    b = scheme.encode_cell(b"P" * 32 + b"two", OTHER)
+    assert a[:32] == b[:32]
+
+
+def test_append_with_random_iv_hides_prefixes_but_still_forgeable():
+    scheme = append_scheme(RandomIV(DeterministicRandom("iv")))
+    a = scheme.encode_cell(b"P" * 32, ADDRESS)
+    b = scheme.encode_cell(b"P" * 32, OTHER)
+    assert a[:32] != b[:32]  # privacy leak gone...
+    # ...but CBC cut-and-paste still works (encryption ≠ authentication):
+    # flip a byte in the first ciphertext body block; checksum blocks
+    # decrypt unchanged, so the modification is accepted.
+    body = bytearray(a)
+    body[16] ^= 0x01  # first block after the embedded IV
+    forged = scheme.decode_cell(bytes(body), ADDRESS)
+    assert forged != b"P" * 32  # accepted but different: forgery
+
+
+def test_append_too_short_ciphertext():
+    scheme = append_scheme()
+    with pytest.raises(Exception):
+        scheme.decode_cell(b"", ADDRESS)
+
+
+# ---- AEAD fix ---------------------------------------------------------------
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_aead_round_trip(value):
+    scheme = aead_scheme()
+    assert scheme.decode_cell(scheme.encode_cell(value, ADDRESS), ADDRESS) == value
+
+
+def test_aead_not_deterministic():
+    scheme = aead_scheme()
+    assert not scheme.deterministic
+    assert scheme.encode_cell(b"same", ADDRESS) != scheme.encode_cell(b"same", ADDRESS)
+
+
+def test_aead_detects_relocation_modification_and_garbage():
+    scheme = aead_scheme()
+    stored = scheme.encode_cell(b"value", ADDRESS)
+    with pytest.raises(AuthenticationError):
+        scheme.decode_cell(stored, OTHER)
+    mutated = bytes([stored[10] ^ 1 if i == 10 else b for i, b in enumerate(stored)])
+    with pytest.raises(AuthenticationError):
+        scheme.decode_cell(mutated, ADDRESS)
+    with pytest.raises(AuthenticationError):
+        scheme.decode_cell(b"not an entry", ADDRESS)
+
+
+def test_aead_failure_modes_are_indistinguishable():
+    """Eq. (24): relocation, tamper, and malformed framing all surface
+    as the same opaque 'invalid'."""
+    scheme = aead_scheme()
+    stored = scheme.encode_cell(b"v", ADDRESS)
+    errors = set()
+    for action in (
+        lambda: scheme.decode_cell(stored, OTHER),
+        lambda: scheme.decode_cell(stored[:-1] + b"\x00", ADDRESS),
+        lambda: scheme.decode_cell(b"junk", ADDRESS),
+    ):
+        with pytest.raises(AuthenticationError) as excinfo:
+            action()
+        errors.add(str(excinfo.value))
+    assert errors == {"invalid"}
+
+
+def test_aead_storage_overhead_is_nonce_plus_tag():
+    scheme = aead_scheme()
+    assert scheme.storage_overhead() == 32  # Sect. 4: 16 + 16 octets

@@ -1,0 +1,162 @@
+"""Property-based tests across the whole codec matrix.
+
+Hypothesis drives random values, addresses, and reference shapes through
+every cell scheme and index codec, asserting the invariants the engine
+relies on: decode ∘ encode = id at the right address/refs, and failure
+(or at least non-identity) at any other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.aead.eax import EAX
+from repro.core.address import default_mu
+from repro.core.cellcrypto import AeadCellScheme, AppendScheme, XorScheme
+from repro.core.indexcrypto import (
+    AeadIndexCodec,
+    DBSec2005IndexCodec,
+    SDM2004IndexCodec,
+)
+from repro.engine.codec import EntryRefs, PlainEntryCodec
+from repro.engine.table import CellAddress
+from repro.errors import AuthenticationError, CryptoError
+from repro.mac.omac import OMAC
+from repro.modes.base import ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.rng import CountingNonceSource, DeterministicRandom
+
+KEY = bytes(range(16))
+
+addresses = st.builds(
+    CellAddress,
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=64),
+)
+
+
+def cell_schemes():
+    return [
+        AppendScheme(CBC(AES(KEY), ZeroIV())),
+        AeadCellScheme(EAX(AES(KEY)), CountingNonceSource(16)),
+    ]
+
+
+@given(st.binary(min_size=16, max_size=64), addresses)
+@settings(max_examples=25, deadline=None)
+def test_cell_round_trip_at_correct_address(value, address):
+    for scheme in cell_schemes():
+        stored = scheme.encode_cell(value, address)
+        assert scheme.decode_cell(stored, address) == value
+
+
+@given(st.binary(min_size=16, max_size=48), addresses, addresses)
+@settings(max_examples=25, deadline=None)
+def test_cell_relocation_never_silently_succeeds(value, address_a, address_b):
+    """For the authenticated schemes, moving a ciphertext must raise."""
+    if address_a == address_b:
+        return
+    for scheme in cell_schemes():
+        stored = scheme.encode_cell(value, address_a)
+        with pytest.raises(CryptoError):
+            scheme.decode_cell(stored, address_b)
+
+
+@given(st.binary(min_size=16, max_size=48), addresses)
+@settings(max_examples=25, deadline=None)
+def test_xor_scheme_relocation_is_predictable_not_detected(value, address):
+    """The XOR-Scheme contrast: relocation is silent, and the result is
+    exactly V ⊕ µ ⊕ µ' (full adversarial control)."""
+    scheme = XorScheme(CBC(AES(KEY), ZeroIV()))
+    other = CellAddress(address.table, address.row + 1, address.column)
+    stored = scheme.encode_cell(value, address)
+    moved = scheme.decode_cell(stored, other)
+    mu = default_mu()
+    from repro.primitives.util import xor_bytes
+
+    expected = xor_bytes(xor_bytes(value, mu(address)), mu(other))
+    assert moved == expected
+
+
+refs_strategy = st.builds(
+    EntryRefs,
+    st.integers(min_value=0, max_value=1000),   # index_table
+    st.integers(min_value=0, max_value=10**6),  # row_id
+    st.booleans(),                              # is_leaf
+    st.tuples(st.integers(min_value=-1, max_value=10**6)),
+)
+
+
+def index_codecs():
+    return [
+        PlainEntryCodec(),
+        SDM2004IndexCodec(CBC(AES(KEY), ZeroIV())),
+        DBSec2005IndexCodec(
+            CBC(AES(KEY), ZeroIV()), OMAC(AES(KEY)), DeterministicRandom("prop")
+        ),
+        AeadIndexCodec(EAX(AES(KEY)), CountingNonceSource(16), 3, 1),
+    ]
+
+
+@given(
+    st.binary(min_size=1, max_size=48),
+    st.integers(min_value=0, max_value=10**9),
+    refs_strategy,
+)
+@settings(max_examples=25, deadline=None)
+def test_index_round_trip(key, table_row, refs):
+    for codec in index_codecs():
+        payload = codec.encode(key, table_row, refs)
+        decoded_key, decoded_row = codec.decode(payload, refs)
+        assert decoded_key == key
+        if isinstance(codec, SDM2004IndexCodec) and not refs.is_leaf:
+            # Eq. (4): inner entries store no table reference.
+            assert decoded_row is None
+        else:
+            assert decoded_row == table_row
+
+
+@given(
+    st.binary(min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=10**6),
+    refs_strategy,
+)
+@settings(max_examples=25, deadline=None)
+def test_index_row_relocation_detected_by_authenticating_codecs(
+    key, table_row, refs
+):
+    moved = EntryRefs(refs.index_table, refs.row_id + 1, refs.is_leaf, refs.internal)
+    for codec in index_codecs():
+        if isinstance(codec, PlainEntryCodec):
+            continue
+        payload = codec.encode(key, table_row, refs)
+        with pytest.raises(AuthenticationError):
+            codec.decode(payload, moved)
+
+
+@given(
+    st.binary(min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=10**6),
+    refs_strategy,
+)
+@settings(max_examples=25, deadline=None)
+def test_index_sibling_rebinding_detected_by_ref_binding_codecs(
+    key, table_row, refs
+):
+    """[12] and the fix bind Ref_I; [3] does not (its only check is r_I)."""
+    rebound = EntryRefs(
+        refs.index_table, refs.row_id, refs.is_leaf,
+        tuple(r + 1 for r in refs.internal),
+    )
+    for codec in index_codecs():
+        payload = codec.encode(key, table_row, refs)
+        if isinstance(codec, (DBSec2005IndexCodec, AeadIndexCodec)):
+            with pytest.raises(AuthenticationError):
+                codec.decode(payload, rebound)
+        elif isinstance(codec, SDM2004IndexCodec):
+            # [3] accepts: structural refs are not authenticated.
+            decoded_key, _ = codec.decode(payload, rebound)
+            assert decoded_key == key

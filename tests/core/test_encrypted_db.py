@@ -1,0 +1,132 @@
+"""The EncryptedDatabase facade: configurations, combos, storage view."""
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.query import PointQuery, RangeQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import SchemaError
+
+MASTER = b"facade-test-master-key-012345678"
+
+SCHEMA = TableSchema(
+    "t",
+    [
+        Column("k", ColumnType.INT),
+        Column("v", ColumnType.TEXT),
+        Column("public", ColumnType.TEXT, sensitive=False),
+    ],
+)
+
+CELL_SCHEMES = ["plain", "append", "aead"]
+INDEX_SCHEMES = ["plain", "sdm2004", "dbsec2005", "aead"]
+
+
+def build(config: EncryptionConfig) -> EncryptedDatabase:
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    for i in range(20):
+        db.insert("t", [i, f"secret-{i:02d}", f"public-{i:02d}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    return db
+
+
+@pytest.mark.parametrize("cell", CELL_SCHEMES)
+@pytest.mark.parametrize("index", INDEX_SCHEMES)
+def test_all_scheme_combinations_query_correctly(cell, index):
+    db = build(EncryptionConfig(cell_scheme=cell, index_scheme=index))
+    assert PointQuery("t", "k", 7).execute(db).row_ids() == [7]
+    assert db.get_value("t", 7, "v") == "secret-07"
+    result = RangeQuery("t", "k", 5, 8).execute(db)
+    assert result.row_ids() == [5, 6, 7, 8]
+
+
+@pytest.mark.parametrize("aead", ["eax", "ocb", "ccfb", "gcm", "siv"])
+def test_every_aead_choice_works(aead):
+    db = build(EncryptionConfig.paper_fixed(aead))
+    assert PointQuery("t", "k", 3).execute(db).row_ids() == [3]
+    assert db.get_value("t", 3, "v") == "secret-03"
+
+
+def test_sensitive_flag_controls_encryption():
+    db = build(EncryptionConfig.paper_fixed("eax"))
+    storage = db.storage_view()
+    # Sensitive column: stored bytes are not the plaintext encoding.
+    assert storage.cell("t", 0, 1) != b"secret-00"
+    assert b"secret-00" not in storage.cell("t", 0, 1)
+    # Non-sensitive column: stored in clear, as [3] allows per column.
+    assert storage.cell("t", 0, 2) == b"public-00"
+
+
+def test_broken_and_fixed_presets():
+    broken = EncryptionConfig.paper_broken()
+    assert broken.cell_scheme == "append"
+    assert broken.iv_policy == "zero"
+    assert broken.mac_shared_key and broken.faithful_leaf_bug
+    fixed = EncryptionConfig.paper_fixed("ccfb")
+    assert fixed.cell_scheme == "aead" and fixed.aead == "ccfb"
+
+
+def test_with_updates_config_functionally():
+    base = EncryptionConfig.paper_broken()
+    changed = base.with_(iv_policy="random")
+    assert changed.iv_policy == "random"
+    assert base.iv_policy == "zero"
+
+
+def test_invalid_configs_rejected():
+    for bad in (
+        EncryptionConfig(cell_scheme="rot13"),
+        EncryptionConfig(index_scheme="rot13"),
+        EncryptionConfig(aead="rot13"),
+        EncryptionConfig(iv_policy="sometimes"),
+    ):
+        with pytest.raises(SchemaError):
+            EncryptedDatabase(MASTER, bad)
+
+
+def test_same_key_same_config_interoperate():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = build(config)
+    # A second instance with the same master key can decode the cells.
+    twin = EncryptedDatabase(MASTER, config)
+    stored = db.storage_view().cell("t", 4, 1)
+    address = db.table("t").address(4, 1)
+    assert twin.cell_codec.decode_cell(stored, address) == b"secret-04"
+
+
+def test_different_master_keys_do_not_interoperate():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = build(config)
+    other = EncryptedDatabase(b"completely-different-master-key!", config)
+    stored = db.storage_view().cell("t", 4, 1)
+    address = db.table("t").address(4, 1)
+    from repro.errors import AuthenticationError
+
+    with pytest.raises(AuthenticationError):
+        other.cell_codec.decode_cell(stored, address)
+
+
+def test_storage_view_index_payloads():
+    db = build(EncryptionConfig.paper_fixed("eax"))
+    payloads = db.storage_view().index_payloads("t_k")
+    assert len(payloads) >= 20  # leaves plus inner separators
+    db2 = build(EncryptionConfig(index_scheme="plain"))
+    db2.create_index("t_k2", "t", "k", kind="btree")
+    assert db2.storage_view().index_payloads("t_k2")
+
+
+def test_legacy_schemes_share_one_key():
+    """[3]/[12] encrypt cells and index entries under the same k —
+    required for the §3.2 linkage attack to apply."""
+    db = EncryptedDatabase(MASTER, EncryptionConfig.paper_broken())
+    assert db._legacy_key() == db.keys.derive("legacy-k")
+
+
+def test_mutations_through_facade_update_indexes():
+    db = build(EncryptionConfig.paper_fixed("eax"))
+    db.update_value("t", 7, "k", 777)
+    assert PointQuery("t", "k", 7).execute(db).row_ids() == []
+    assert PointQuery("t", "k", 777).execute(db).row_ids() == [7]
+    db.delete_row("t", 7)
+    assert PointQuery("t", "k", 777).execute(db).row_ids() == []

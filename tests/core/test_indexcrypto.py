@@ -1,0 +1,245 @@
+"""Index entry codecs: [3] (eqs. 4–5), [12] (eq. 7), and the fix (25–26)."""
+
+import pytest
+
+from repro.aead.eax import EAX
+from repro.core.indexcrypto import (
+    AeadIndexCodec,
+    DBSec2005IndexCodec,
+    SDM2004IndexCodec,
+)
+from repro.engine.codec import EntryRefs
+from repro.errors import AuthenticationError
+from repro.mac.omac import OMAC
+from repro.modes.base import ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.rng import CountingNonceSource, DeterministicRandom
+
+KEY = bytes(range(16))
+
+LEAF_REFS = EntryRefs(index_table=9, row_id=5, is_leaf=True, internal=(6,))
+INNER_REFS = EntryRefs(index_table=9, row_id=2, is_leaf=False, internal=(1, 3))
+
+
+def sdm() -> SDM2004IndexCodec:
+    return SDM2004IndexCodec(CBC(AES(KEY), ZeroIV()))
+
+
+def dbsec(shared_key=True, leaf_bug=True) -> DBSec2005IndexCodec:
+    mac_key = KEY if shared_key else bytes(range(16, 32))
+    return DBSec2005IndexCodec(
+        CBC(AES(KEY), ZeroIV()),
+        OMAC(AES(mac_key)),
+        DeterministicRandom("dbsec"),
+        faithful_leaf_bug=leaf_bug,
+    )
+
+
+def aead_codec() -> AeadIndexCodec:
+    return AeadIndexCodec(
+        EAX(AES(KEY)), CountingNonceSource(16), indexed_table=4, indexed_column=1
+    )
+
+
+# ---- SDM 2004 ([3]) ----------------------------------------------------------
+
+
+def test_sdm_leaf_round_trip():
+    codec = sdm()
+    payload = codec.encode(b"value", 77, LEAF_REFS)
+    assert codec.decode(payload, LEAF_REFS) == (b"value", 77)
+
+
+def test_sdm_inner_round_trip_has_no_table_row():
+    codec = sdm()
+    payload = codec.encode(b"separator", None, INNER_REFS)
+    assert codec.decode(payload, INNER_REFS) == (b"separator", None)
+
+
+def test_sdm_leaf_requires_table_row():
+    with pytest.raises(ValueError):
+        sdm().encode(b"v", None, LEAF_REFS)
+
+
+def test_sdm_row_binding_detects_relocation():
+    """The only integrity [3] has: the embedded r_I self-reference."""
+    codec = sdm()
+    payload = codec.encode(b"value", 77, LEAF_REFS)
+    elsewhere = EntryRefs(9, 8, True, (6,))
+    with pytest.raises(AuthenticationError):
+        codec.decode(payload, elsewhere)
+
+
+def test_sdm_plaintext_layout_matches_equations():
+    """Eq. (4): V ∥ r_I; eq. (5): (V, r) ∥ r_I — V first, so common
+    prefixes with the cell plaintext V ∥ µ are inevitable."""
+    codec = sdm()
+    inner = codec.plaintext_for(b"VVVV", None, INNER_REFS)
+    assert inner.startswith(b"VVVV")
+    leaf = codec.plaintext_for(b"VVVV", 3, LEAF_REFS)
+    assert leaf.startswith(b"VVVV")
+    assert leaf[-8:] == (5).to_bytes(8, "big")      # r_I last
+    assert leaf[-16:-8] == (3).to_bytes(8, "big")   # r before it
+
+
+def test_sdm_deterministic_across_nodes_with_same_v():
+    codec = sdm()
+    a = codec.encode(b"V" * 32, 1, LEAF_REFS)
+    b = codec.encode(b"V" * 32, 1, EntryRefs(9, 99, True, (100,)))
+    assert a[:32] == b[:32]  # the §3.2 linkage leak
+
+
+def test_sdm_too_short_payload():
+    with pytest.raises(Exception):
+        sdm().decode(CBC(AES(KEY), ZeroIV()).encrypt(b"xx"), LEAF_REFS)
+
+
+# ---- DBSec 2005 ([12]) ------------------------------------------------------
+
+
+def test_dbsec_round_trip_leaf_and_inner():
+    codec = dbsec()
+    for refs in (LEAF_REFS, INNER_REFS):
+        payload = codec.encode(b"attribute-value", 12, refs)
+        assert codec.decode(payload, refs) == (b"attribute-value", 12)
+
+
+def test_dbsec_requires_table_row():
+    with pytest.raises(ValueError):
+        dbsec().encode(b"v", None, INNER_REFS)
+
+
+def test_dbsec_nondeterministic_tail_but_deterministic_prefix():
+    """Eq. (6): Ẽ_k(x) = E_k(x ∥ a).  Fresh randomness per encryption
+    changes the tail, but all full blocks of V still collide — §3.3."""
+    codec = dbsec()
+    a = codec.encode(b"V" * 32, 1, LEAF_REFS)
+    b = codec.encode(b"V" * 32, 1, LEAF_REFS)
+    ct_a, _, _ = codec.split_payload(a)
+    ct_b, _, _ = codec.split_payload(b)
+    assert ct_a != ct_b              # randomness a differs
+    assert ct_a[:32] == ct_b[:32]    # but the V blocks are identical
+
+
+def test_dbsec_mac_binds_refs():
+    codec = dbsec()
+    payload = codec.encode(b"value", 12, LEAF_REFS)
+    moved = EntryRefs(9, 6, True, (7,))
+    with pytest.raises(AuthenticationError):
+        codec.decode(payload, moved)
+    resiblinged = EntryRefs(9, 5, True, (99,))
+    with pytest.raises(AuthenticationError):
+        codec.decode(payload, resiblinged)
+
+
+def test_dbsec_mac_detects_component_swap():
+    codec = dbsec()
+    p1 = codec.encode(b"value-one", 1, LEAF_REFS)
+    p2 = codec.encode(b"value-two", 2, LEAF_REFS)
+    v1, r1, t1 = codec.split_payload(p1)
+    _, r2, t2 = codec.split_payload(p2)
+    franken = codec.join_payload(v1, r2, t1)
+    with pytest.raises(AuthenticationError):
+        codec.decode(franken, LEAF_REFS)
+
+
+def test_dbsec_leaf_bug_skips_leaf_verification():
+    """Footnote 1: query-path decode at leaves skips the MAC."""
+    codec = dbsec(leaf_bug=True)
+    payload = codec.encode(b"value", 12, LEAF_REFS)
+    v, r, tag = codec.split_payload(payload)
+    corrupted = codec.join_payload(v, r, bytes(len(tag)))
+    # Query path at a leaf: accepted despite a zeroed MAC.
+    assert codec.decode_for_query(corrupted, LEAF_REFS, at_leaf=True) == (b"value", 12)
+    # Inner nodes on the query path are always verified.
+    with pytest.raises(AuthenticationError):
+        codec.decode_for_query(corrupted, LEAF_REFS, at_leaf=False)
+    # The non-query decode path verifies too.
+    with pytest.raises(AuthenticationError):
+        codec.decode(corrupted, LEAF_REFS)
+
+
+def test_dbsec_fixed_leaf_verification():
+    """"Both bugs can be easily fixed."""
+    codec = dbsec(leaf_bug=False)
+    payload = codec.encode(b"value", 12, LEAF_REFS)
+    v, r, tag = codec.split_payload(payload)
+    corrupted = codec.join_payload(v, r, bytes(len(tag)))
+    with pytest.raises(AuthenticationError):
+        codec.decode_for_query(corrupted, LEAF_REFS, at_leaf=True)
+
+
+def test_dbsec_malformed_payloads():
+    codec = dbsec()
+    with pytest.raises(AuthenticationError):
+        codec.split_payload(b"\x00\x00")
+    payload = codec.encode(b"v", 1, LEAF_REFS)
+    with pytest.raises(AuthenticationError):
+        codec.decode(payload + b"extra", LEAF_REFS)
+
+
+def test_dbsec_randomness_size_bounds():
+    with pytest.raises(ValueError):
+        DBSec2005IndexCodec(
+            CBC(AES(KEY), ZeroIV()), OMAC(AES(KEY)),
+            DeterministicRandom("x"), randomness_size=0,
+        )
+
+
+# ---- AEAD fix (eqs. 25–26) --------------------------------------------------
+
+
+def test_aead_round_trip():
+    codec = aead_codec()
+    payload = codec.encode(b"value", 12, LEAF_REFS)
+    assert codec.decode(payload, LEAF_REFS) == (b"value", 12)
+    inner = codec.encode(b"sep", None, INNER_REFS)
+    assert codec.decode(inner, INNER_REFS) == (b"sep", None)
+
+
+def test_aead_randomised():
+    codec = aead_codec()
+    assert codec.encode(b"v", 1, LEAF_REFS) != codec.encode(b"v", 1, LEAF_REFS)
+
+
+def test_aead_binds_every_reference():
+    codec = aead_codec()
+    payload = codec.encode(b"v", 1, LEAF_REFS)
+    for bad_refs in (
+        EntryRefs(9, 6, True, (6,)),     # other row (Ref_S)
+        EntryRefs(9, 5, True, (7,)),     # other sibling (Ref_I)
+        EntryRefs(8, 5, True, (6,)),     # other index table (Ref_S)
+    ):
+        with pytest.raises(AuthenticationError):
+            codec.decode(payload, bad_refs)
+
+
+def test_aead_binds_indexed_table_and_column():
+    """Ref_S = (t_I, t, c, r_I): the same entry under a codec for a
+    different indexed column must not decode."""
+    payload = aead_codec().encode(b"v", 1, LEAF_REFS)
+    other_column = AeadIndexCodec(
+        EAX(AES(KEY)), CountingNonceSource(16), indexed_table=4, indexed_column=2
+    )
+    with pytest.raises(AuthenticationError):
+        other_column.decode(payload, LEAF_REFS)
+
+
+def test_aead_table_reference_is_encrypted():
+    """Eq. (25) encrypts (V, Ref_T): the table row must not appear in
+    the stored bytes (prevention of linkage leakage)."""
+    codec = aead_codec()
+    table_row = 0x11223344
+    payload = codec.encode(b"v", table_row, LEAF_REFS)
+    assert (table_row).to_bytes(8, "big") not in payload
+    assert b"\x11\x22\x33\x44" not in payload
+
+
+def test_aead_malformed_payload():
+    with pytest.raises(AuthenticationError):
+        aead_codec().decode(b"gibberish", LEAF_REFS)
+
+
+def test_aead_storage_overhead():
+    assert aead_codec().storage_overhead() == 32

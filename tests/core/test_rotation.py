@@ -1,0 +1,118 @@
+"""Key rotation: re-encrypt everything under a new master key."""
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.core.rotation import rotate_master_key
+from repro.engine.query import PointQuery, RangeQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import AuthenticationError, SessionError
+
+OLD_KEY = b"old-master-key-0123456789abcdefg"
+NEW_KEY = b"new-master-key-0123456789abcdefg"
+
+SCHEMA = TableSchema("t", [
+    Column("k", ColumnType.INT),
+    Column("v", ColumnType.TEXT),
+    Column("open", ColumnType.TEXT, sensitive=False),
+])
+
+
+def build(config=None) -> EncryptedDatabase:
+    config = config or EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(OLD_KEY, config)
+    db.create_table(SCHEMA)
+    for i in range(15):
+        db.insert("t", [i, f"secret-{i:02d}", f"open-{i:02d}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    db.create_index("t_v", "t", "v", kind="btree")
+    return db
+
+
+def test_rotation_report_counts():
+    db = build()
+    report = rotate_master_key(db, NEW_KEY)
+    assert report.tables == 1
+    assert report.indexes == 2
+    assert report.cells_reencrypted == 15 * 2  # two sensitive columns
+    assert report.index_entries_reencrypted > 15 * 2  # leaves + separators
+
+
+def test_queries_unchanged_after_rotation():
+    db = build()
+    before_point = PointQuery("t", "k", 7).execute(db).rows
+    before_range = RangeQuery("t", "v", "secret-03", "secret-06").execute(db).rows
+    rotate_master_key(db, NEW_KEY)
+    assert PointQuery("t", "k", 7).execute(db).rows == before_point
+    assert RangeQuery("t", "v", "secret-03", "secret-06").execute(db).rows == before_range
+    assert db.get_value("t", 4, "v") == "secret-04"
+
+
+def test_old_key_no_longer_decrypts():
+    db = build()
+    config = db.config
+    rotate_master_key(db, NEW_KEY)
+    old_instance = EncryptedDatabase(OLD_KEY, config)
+    stored = db.storage_view().cell("t", 3, 1)
+    address = db.table("t").address(3, 1)
+    with pytest.raises(AuthenticationError):
+        old_instance.cell_codec.decode_cell(stored, address)
+
+
+def test_new_key_instance_interoperates():
+    db = build()
+    config = db.config
+    rotate_master_key(db, NEW_KEY)
+    new_instance = EncryptedDatabase(NEW_KEY, config)
+    stored = db.storage_view().cell("t", 3, 1)
+    address = db.table("t").address(3, 1)
+    assert new_instance.cell_codec.decode_cell(stored, address) == b"secret-03"
+
+
+def test_ciphertexts_actually_change():
+    db = build()
+    before = db.storage_view().cell("t", 0, 1)
+    rotate_master_key(db, NEW_KEY)
+    assert db.storage_view().cell("t", 0, 1) != before
+
+
+def test_non_sensitive_columns_untouched():
+    db = build()
+    before = db.storage_view().cell("t", 0, 2)
+    rotate_master_key(db, NEW_KEY)
+    assert db.storage_view().cell("t", 0, 2) == before == b"open-00"
+
+
+def test_old_key_ring_is_wiped():
+    db = build()
+    old_ring = db.keys
+    rotate_master_key(db, NEW_KEY)
+    assert old_ring.is_wiped
+    with pytest.raises(SessionError):
+        old_ring.cell_key()
+    assert not db.keys.is_wiped  # the new ring is live
+
+
+def test_rotation_of_legacy_configuration():
+    """Rotation is scheme-agnostic: it also re-keys the broken schemes."""
+    db = build(EncryptionConfig.paper_broken(index_scheme="dbsec2005"))
+    report = rotate_master_key(db, NEW_KEY)
+    assert report.cells_reencrypted == 30
+    assert PointQuery("t", "k", 7).execute(db).row_ids() == [7]
+    assert db.get_value("t", 7, "v") == "secret-07"
+
+
+def test_inserts_after_rotation_use_new_key():
+    db = build()
+    rotate_master_key(db, NEW_KEY)
+    row = db.insert("t", [99, "post-rotation", "x"])
+    assert db.get_value("t", row, "v") == "post-rotation"
+    assert PointQuery("t", "k", 99).execute(db).row_ids() == [row]
+
+
+def test_double_rotation():
+    db = build()
+    rotate_master_key(db, NEW_KEY)
+    rotate_master_key(db, b"third-master-key-0123456789abcde")
+    assert db.get_value("t", 5, "v") == "secret-05"
+    assert PointQuery("t", "v", "secret-05").execute(db).row_ids() == [5]

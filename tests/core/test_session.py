@@ -1,0 +1,105 @@
+"""The trusted-session model (§2.1) and Remark 1's client traversal."""
+
+import math
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.core.session import ClientSideTraversal, SecureSession
+from repro.engine.query import PointQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import SessionError
+
+MASTER = b"session-test-master-key-01234567"
+
+SCHEMA = TableSchema(
+    "t", [Column("k", ColumnType.INT), Column("v", ColumnType.TEXT)]
+)
+
+
+def build(rows=128, order=8):
+    db = EncryptedDatabase(MASTER, EncryptionConfig.paper_fixed("eax"))
+    db.create_table(SCHEMA)
+    for i in range(rows):
+        db.insert("t", [i, f"v{i}"])
+    db.create_index("bt", "t", "k", kind="btree", order=order)
+    db.create_index("it", "t", "k", kind="table")
+    return db
+
+
+def key_of(i: int) -> bytes:
+    return (i + (1 << 63)).to_bytes(8, "big")
+
+
+def test_session_lifecycle():
+    db = build(rows=10)
+    session = SecureSession(db)
+    with pytest.raises(SessionError):
+        session.execute(PointQuery("t", "k", 1))
+    with session as live:
+        assert live.is_open
+        assert live.execute(PointQuery("t", "k", 1)).row_ids() == [1]
+    assert not session.is_open
+    with pytest.raises(SessionError):
+        session.execute(PointQuery("t", "k", 1))
+    assert session.queries_executed == 1
+
+
+def test_session_cannot_be_opened_twice():
+    db = build(rows=4)
+    session = SecureSession(db)
+    session.open()
+    with pytest.raises(SessionError):
+        session.open()
+    session.close()
+    session.open()  # reopen after close is fine
+    session.close()
+
+
+def test_client_traversal_finds_same_answers_as_server():
+    db = build(rows=100)
+    for name in ("bt", "it"):
+        trace = ClientSideTraversal(db.index(name).structure).search(key_of(37))
+        assert trace.row_ids == [37]
+
+
+def test_client_traversal_range():
+    db = build(rows=60)
+    trace = ClientSideTraversal(db.index("bt").structure).range_search(
+        key_of(10), key_of(15)
+    )
+    assert trace.row_ids == list(range(10, 16))
+    assert trace.rounds >= 2
+
+
+def test_rounds_are_logarithmic_in_fanout():
+    """Remark 1: d-ary B⁺-trees with d ≥ 2 need fewer rounds."""
+    rows = 256
+    db = build(rows=rows, order=16)
+    binary_rounds = ClientSideTraversal(db.index("it").structure).search(
+        key_of(123)
+    ).rounds
+    dary_rounds = ClientSideTraversal(db.index("bt").structure).search(
+        key_of(123)
+    ).rounds
+    assert dary_rounds < binary_rounds
+    # Binary tree: about log2(n) inner rounds; d-ary: about log_d(n).
+    assert binary_rounds >= math.log2(rows) * 0.8
+    assert dary_rounds <= math.ceil(math.log(rows, 8)) + 2
+
+
+def test_traversal_on_empty_index():
+    db = EncryptedDatabase(MASTER, EncryptionConfig.paper_fixed("eax"))
+    db.create_table(SCHEMA)
+    db.create_index("it", "t", "k", kind="table")
+    trace = ClientSideTraversal(db.index("it").structure).search(key_of(1))
+    assert trace.row_ids == [] and trace.rounds == 0
+
+
+def test_traversal_skips_deleted_leaves():
+    db = build(rows=20)
+    db.delete_row("t", 5)
+    trace = ClientSideTraversal(db.index("it").structure).range_search(
+        key_of(4), key_of(6)
+    )
+    assert trace.row_ids == [4, 6]

@@ -1,0 +1,122 @@
+"""The d-ary B⁺-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import NO_REF, BPlusTree
+from repro.engine.codec import PlainEntryCodec
+from repro.errors import NoSuchRowError
+
+
+def enc(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def build(values, order=8) -> BPlusTree:
+    tree = BPlusTree(1, PlainEntryCodec(), order=order)
+    for position, value in enumerate(values):
+        tree.insert(enc(value), position)
+    return tree
+
+
+def test_point_and_range_search():
+    tree = build(range(200))
+    assert tree.search(enc(123)) == [123]
+    assert [r for _, r in tree.range_search(enc(10), enc(15))] == list(range(10, 16))
+    assert tree.search(enc(999)) == []
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=120),
+    st.integers(min_value=3, max_value=16),
+)
+@settings(max_examples=30, deadline=None)
+def test_items_sorted_regardless_of_insert_order(values, order):
+    tree = build(values, order=order)
+    expected = sorted((enc(v), i) for i, v in enumerate(values))
+    assert sorted(tree.items()) == expected
+    keys = [k for k, _ in tree.items()]
+    assert keys == sorted(keys)
+
+
+def test_duplicates():
+    tree = build([7] * 30, order=4)
+    assert sorted(tree.search(enc(7))) == list(range(30))
+
+
+def test_height_logarithmic():
+    tree = build(range(1000), order=16)
+    assert 2 <= tree.height() <= 4
+
+
+def test_order_bounds():
+    with pytest.raises(ValueError):
+        BPlusTree(1, PlainEntryCodec(), order=2)
+
+
+def test_node_entry_counts_respect_order():
+    order = 6
+    tree = build(range(500), order=order)
+    for node_id in range(tree.node_count):
+        try:
+            node = tree.node(node_id)
+        except NoSuchRowError:
+            continue
+        assert len(node.entries) <= order
+        if not node.is_leaf:
+            assert len(node.children) == len(node.entries) + 1
+
+
+def test_delete():
+    tree = build(range(50), order=5)
+    assert tree.delete(enc(25), 25)
+    assert tree.search(enc(25)) == []
+    assert not tree.delete(enc(25), 25)
+    assert not tree.delete(enc(99), 99)
+    assert len(tree) == 49
+
+
+def test_bulk_build():
+    tree = BPlusTree(1, PlainEntryCodec(), order=8)
+    tree.bulk_build([(enc(i), i) for i in range(100)])
+    assert tree.search(enc(57)) == [57]
+    assert len(tree) == 100
+
+
+def test_empty_tree():
+    tree = BPlusTree(1, PlainEntryCodec())
+    assert tree.search(enc(0)) == []
+    assert tree.items() == []
+    assert tree.height() == 0
+    assert len(tree) == 0
+
+
+def test_leaf_chain_spans_all_leaves():
+    tree = build(range(100), order=4)
+    node = tree.node(tree._leftmost_leaf())
+    count = len(node.entries)
+    while node.next_leaf != NO_REF:
+        node = tree.node(node.next_leaf)
+        count += len(node.entries)
+    assert count == 100
+
+
+def test_raw_entries_and_tamper():
+    tree = build(range(10), order=4)
+    entries = list(tree.raw_entries())
+    assert entries
+    node_id, slot, entry = entries[0]
+    tree.tamper(node_id, slot, b"junk")
+    assert tree.node(node_id).entries[slot].payload == b"junk"
+
+
+def test_verify_all_plain():
+    tree = build(range(30), order=4)
+    tree.verify_all()
+
+
+def test_missing_node():
+    tree = build(range(3))
+    with pytest.raises(NoSuchRowError):
+        tree.node(999)

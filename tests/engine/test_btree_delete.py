@@ -1,0 +1,152 @@
+"""B⁺-tree deletion with rebalancing (borrow / merge / height shrink)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import NO_REF, BPlusTree
+from repro.engine.codec import PlainEntryCodec
+
+
+def enc(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def build(values, order=6) -> BPlusTree:
+    tree = BPlusTree(1, PlainEntryCodec(), order=order)
+    for position, value in enumerate(values):
+        tree.insert(enc(value), position)
+    return tree
+
+
+def check_invariants(tree: BPlusTree) -> None:
+    """Structural invariants after any mutation sequence."""
+    # Keys along the leaf chain are sorted.
+    keys = [key for key, _ in tree.items()]
+    assert keys == sorted(keys)
+    # Node sizes respect the order; non-root inner nodes keep their
+    # child/entry relationship.
+    for node_id, node in tree._nodes.items():
+        assert len(node.entries) <= tree.order
+        if not node.is_leaf:
+            assert len(node.children) == len(node.entries) + 1
+    # Every node is reachable exactly once (no leaks, no orphans).
+    reachable = set()
+    stack = [tree.root_id]
+    while stack:
+        node_id = stack.pop()
+        assert node_id not in reachable
+        reachable.add(node_id)
+        node = tree.node(node_id)
+        if not node.is_leaf:
+            stack.extend(node.children)
+    assert reachable == set(tree._nodes)
+
+
+def test_delete_everything():
+    tree = build(range(200), order=6)
+    for i in range(200):
+        assert tree.delete(enc(i), i), i
+        check_invariants(tree)
+    assert len(tree) == 0
+    assert tree.items() == []
+    assert tree.height() == 0  # collapsed back to a single leaf
+
+
+def test_delete_reverse_order():
+    tree = build(range(150), order=4)
+    for i in reversed(range(150)):
+        assert tree.delete(enc(i), i)
+    assert len(tree) == 0
+    check_invariants(tree)
+
+
+def test_height_shrinks_after_mass_deletion():
+    tree = build(range(500), order=8)
+    tall = tree.height()
+    for i in range(450):
+        tree.delete(enc(i), i)
+    check_invariants(tree)
+    assert tree.height() < tall
+    assert [row for _, row in tree.items()] == list(range(450, 500))
+
+
+def test_interleaved_insert_delete():
+    tree = build([], order=5)
+    live = {}
+    counter = 0
+    for round_index in range(6):
+        for value in range(0, 60, 2):
+            tree.insert(enc(value), counter)
+            live[counter] = value
+            counter += 1
+        victims = [rid for rid in list(live) if live[rid] % 6 == 0][:15]
+        for rid in victims:
+            assert tree.delete(enc(live[rid]), rid)
+            del live[rid]
+        check_invariants(tree)
+    expected = sorted((enc(v), rid) for rid, v in live.items())
+    assert sorted(tree.items()) == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=40)),
+        min_size=1, max_size=120,
+    ),
+    st.integers(min_value=4, max_value=10),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_mutation_sequences_match_reference(operations, order):
+    tree = BPlusTree(1, PlainEntryCodec(), order=order)
+    reference: dict[int, int] = {}
+    counter = 0
+    for is_insert, value in operations:
+        if is_insert or not reference:
+            tree.insert(enc(value), counter)
+            reference[counter] = value
+            counter += 1
+        else:
+            rid = next(iter(reference))
+            assert tree.delete(enc(reference[rid]), rid)
+            del reference[rid]
+    expected = sorted((enc(v), rid) for rid, v in reference.items())
+    assert sorted(tree.items()) == expected
+    check_invariants(tree)
+
+
+def test_duplicate_deletion_targets_exact_row():
+    tree = build([7] * 20, order=4)
+    assert tree.delete(enc(7), 13)
+    remaining = sorted(tree.search(enc(7)))
+    assert remaining == [i for i in range(20) if i != 13]
+    check_invariants(tree)
+
+
+def test_delete_missing_returns_false():
+    tree = build(range(10))
+    assert not tree.delete(enc(99), 0)
+    assert not tree.delete(enc(5), 999)  # right key, wrong row
+    assert len(tree) == 10
+
+
+def test_deletion_with_encrypted_codec():
+    """Rebalancing must re-encode every moved entry against its new refs
+    — run the whole sweep under the ref-binding AEAD codec."""
+    from repro.aead.eax import EAX
+    from repro.core.indexcrypto import AeadIndexCodec
+    from repro.primitives.aes import AES
+    from repro.primitives.rng import CountingNonceSource
+
+    codec = AeadIndexCodec(
+        EAX(AES(bytes(16))), CountingNonceSource(16), indexed_table=1,
+        indexed_column=0,
+    )
+    tree = BPlusTree(9, codec, order=4)
+    for i in range(60):
+        tree.insert(enc(i), i)
+    for i in range(0, 60, 2):
+        assert tree.delete(enc(i), i)
+    tree.verify_all()  # every surviving payload authenticates at its refs
+    assert [row for _, row in tree.items()] == list(range(1, 60, 2))
+    check_invariants(tree)

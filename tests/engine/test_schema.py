@@ -1,0 +1,105 @@
+"""Schemas and typed value encoding, including order preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import SchemaError
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+@settings(max_examples=40, deadline=None)
+def test_int_round_trip(value):
+    assert ColumnType.INT.decode(ColumnType.INT.encode(value)) == value
+
+
+@given(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_int_encoding_preserves_order(a, b):
+    """B⁺-tree keys are compared as bytes; the biased big-endian encoding
+    must order exactly like the integers (range queries rely on this)."""
+    assert (a < b) == (ColumnType.INT.encode(a) < ColumnType.INT.encode(b))
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_text_round_trip(value):
+    assert ColumnType.TEXT.decode(ColumnType.TEXT.encode(value)) == value
+
+
+@given(st.text(alphabet=st.characters(max_codepoint=127), max_size=30),
+       st.text(alphabet=st.characters(max_codepoint=127), max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_ascii_text_encoding_preserves_order(a, b):
+    assert (a < b) == (ColumnType.TEXT.encode(a) < ColumnType.TEXT.encode(b))
+
+
+def test_bytes_and_bool():
+    assert ColumnType.BYTES.decode(ColumnType.BYTES.encode(b"\x00\xff")) == b"\x00\xff"
+    assert ColumnType.BOOL.encode(True) == b"\x01"
+    assert ColumnType.BOOL.decode(b"\x00") is False
+    with pytest.raises(SchemaError):
+        ColumnType.BOOL.decode(b"\x02")
+
+
+def test_type_mismatches_rejected():
+    with pytest.raises(SchemaError):
+        ColumnType.INT.encode("7")
+    with pytest.raises(SchemaError):
+        ColumnType.INT.encode(True)  # bool is not an INT here
+    with pytest.raises(SchemaError):
+        ColumnType.TEXT.encode(7)
+    with pytest.raises(SchemaError):
+        ColumnType.BOOL.encode(1)
+    with pytest.raises(SchemaError):
+        ColumnType.INT.encode(2**63)
+
+
+def test_int_cell_width_enforced():
+    with pytest.raises(SchemaError):
+        ColumnType.INT.decode(b"\x00" * 7)
+
+
+def test_column_error_names_column():
+    column = Column("age", ColumnType.INT)
+    with pytest.raises(SchemaError, match="age"):
+        column.encode("not an int")
+
+
+def test_schema_construction_rules():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [])
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("a", ColumnType.INT), Column("a", ColumnType.TEXT)])
+
+
+def test_schema_lookup():
+    schema = TableSchema(
+        "t", [Column("a", ColumnType.INT), Column("b", ColumnType.TEXT)]
+    )
+    assert schema.column_names == ("a", "b")
+    assert schema.column_index("b") == 1
+    assert schema.column("a").type is ColumnType.INT
+    with pytest.raises(SchemaError):
+        schema.column_index("missing")
+
+
+def test_row_encoding():
+    schema = TableSchema(
+        "t", [Column("a", ColumnType.INT), Column("b", ColumnType.TEXT)]
+    )
+    cells = schema.encode_row([7, "x"])
+    assert schema.decode_row(cells) == [7, "x"]
+    with pytest.raises(SchemaError):
+        schema.encode_row([7])
+    with pytest.raises(SchemaError):
+        schema.decode_row(cells[:1])
+
+
+def test_sensitive_flag_defaults_true():
+    assert Column("a", ColumnType.INT).sensitive
+    assert not Column("a", ColumnType.INT, sensitive=False).sensitive

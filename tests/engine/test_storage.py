@@ -1,0 +1,110 @@
+"""Storage images: persistence of plain and encrypted databases."""
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.database import Database
+from repro.engine.query import PointQuery, RangeQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import dump_database, load_database
+from repro.errors import AuthenticationError
+
+SCHEMA = TableSchema(
+    "t",
+    [Column("k", ColumnType.INT), Column("v", ColumnType.TEXT)],
+)
+
+MASTER = b"storage-test-key-0123456789abcde"
+
+
+def populated_plain() -> Database:
+    db = Database()
+    db.create_table(SCHEMA)
+    for i in range(25):
+        db.insert("t", [i, f"value-{i:03d}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    db.create_index("t_v", "t", "v", kind="btree")
+    return db
+
+
+def test_plain_round_trip():
+    image = dump_database(populated_plain())
+    db = load_database(image)
+    assert db.count("t") == 25
+    assert PointQuery("t", "k", 7).execute(db).row_ids() == [7]
+    assert PointQuery("t", "v", "value-011").execute(db).row_ids() == [11]
+
+
+def test_round_trip_preserves_row_id_counter():
+    db = populated_plain()
+    db.delete_row("t", 24)
+    reloaded = load_database(dump_database(db))
+    new_row = reloaded.insert("t", [99, "fresh"])
+    assert new_row == 25  # ids never reused, counter survives the dump
+
+
+def test_encrypted_round_trip_requires_same_key():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    for i in range(10):
+        db.insert("t", [i, f"secret-{i}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    image = dump_database(db)
+
+    # Same key: everything decrypts and queries work.
+    same = EncryptedDatabase(MASTER, config)
+    reloaded = load_database(
+        image,
+        cell_codec=same.cell_codec,
+        index_codec_factory=same._build_index_codec,
+    )
+    assert reloaded.get_value("t", 3, "v") == "secret-3"
+    assert PointQuery("t", "k", 3).execute(reloaded).row_ids() == [3]
+
+    # Wrong key: reads fail closed.
+    other = EncryptedDatabase(b"another-master-key-xxxxxxxxxxxxx", config)
+    wrong = load_database(
+        image,
+        cell_codec=other.cell_codec,
+        index_codec_factory=other._build_index_codec,
+    )
+    with pytest.raises(AuthenticationError):
+        wrong.get_value("t", 3, "v")
+
+
+def test_image_contains_no_plaintext():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    db.insert("t", [1, "super-secret-diagnosis"])
+    image = dump_database(db)
+    assert b"super-secret-diagnosis" not in image
+
+
+def test_plain_image_does_contain_plaintext():
+    db = populated_plain()
+    assert b"value-003" in dump_database(db)
+
+
+def test_tampered_image_detected_by_fixed_scheme():
+    config = EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    db.insert("t", [1, "payload-to-corrupt"])
+    image = bytearray(dump_database(db))
+    # Flip one byte in the back half (cell payload area).
+    image[-10] ^= 0xFF
+    same = EncryptedDatabase(MASTER, config)
+    reloaded = load_database(
+        bytes(image),
+        cell_codec=same.cell_codec,
+        index_codec_factory=same._build_index_codec,
+    )
+    with pytest.raises(AuthenticationError):
+        reloaded.get_value("t", 0, "v")
+
+
+def test_corrupt_magic_rejected():
+    with pytest.raises(ValueError):
+        load_database(b"NOTADB__whatever")

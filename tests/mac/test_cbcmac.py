@@ -1,0 +1,54 @@
+"""Raw CBC-MAC: chain identity and its variable-length weakness."""
+
+import pytest
+
+from repro.errors import BlockSizeError
+from repro.mac.cbcmac import CBCMAC
+from repro.modes.base import ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.padding import NONE
+from repro.primitives.util import xor_bytes_strict
+
+KEY = bytes(range(16))
+
+
+def test_tag_is_last_cbc_block():
+    mac = CBCMAC(AES(KEY), padding=NONE)
+    cbc = CBC(AES(KEY), ZeroIV(), padding=NONE, embed_iv=False)
+    message = bytes(range(48))
+    assert mac.tag(message) == cbc.encrypt_blocks(message, bytes(16))[-16:]
+
+
+def test_chaining_values_are_cbc_ciphertext_blocks():
+    mac = CBCMAC(AES(KEY), padding=NONE)
+    cbc = CBC(AES(KEY), ZeroIV(), padding=NONE, embed_iv=False)
+    message = bytes(range(64))
+    values = mac.chaining_values(message)
+    ciphertext = cbc.encrypt_blocks(message, bytes(16))
+    assert values == [ciphertext[i:i + 16] for i in range(0, 64, 16)]
+
+
+def test_chaining_values_require_alignment():
+    with pytest.raises(BlockSizeError):
+        CBCMAC(AES(KEY)).chaining_values(b"misaligned")
+
+
+def test_length_extension_weakness():
+    """Why raw CBC-MAC must not be used for variable lengths: knowing
+    tag(M) lets anyone compute tag(M ∥ (X ⊕ tag(M))) = tag applied to X
+    — a forgery OMAC's final-block masking prevents."""
+    mac = CBCMAC(AES(KEY), padding=NONE)
+    m = bytes(16)
+    t = mac.tag(m)
+    x = b"any block here!!"
+    extended = m + xor_bytes_strict(x, t)
+    assert mac.tag(extended) == mac.tag(x)
+
+
+def test_verify_and_empty_message():
+    mac = CBCMAC(AES(KEY))
+    tag = mac.tag(b"")
+    assert mac.verify(b"", tag)
+    assert not mac.verify(b"x", tag)
+    assert len(tag) == 16

@@ -1,0 +1,32 @@
+"""The HMAC adapter behind the MAC interface."""
+
+import pytest
+
+from repro.mac.hmac_mac import HMACMAC
+from repro.primitives.hmac import hmac_sha1, hmac_sha256
+from repro.primitives.sha1 import SHA1
+
+
+def test_matches_hmac_sha256():
+    mac = HMACMAC(b"key")
+    assert mac.tag(b"message") == hmac_sha256(b"key", b"message")
+    assert mac.tag_size == 32
+
+
+def test_sha1_variant_and_truncation():
+    mac = HMACMAC(b"key", SHA1, tag_size=10)
+    assert mac.tag(b"m") == hmac_sha1(b"key", b"m")[:10]
+    assert mac.name == "hmac-sha1"
+
+
+def test_verify():
+    mac = HMACMAC(b"key")
+    assert mac.verify(b"m", mac.tag(b"m"))
+    assert not mac.verify(b"m", bytes(32))
+
+
+def test_tag_size_bounds():
+    with pytest.raises(ValueError):
+        HMACMAC(b"key", tag_size=0)
+    with pytest.raises(ValueError):
+        HMACMAC(b"key", tag_size=33)

@@ -1,0 +1,88 @@
+"""OMAC1/CMAC: RFC 4493 vectors and the CBC-chain identity of Sect. 3.3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.omac import OMAC
+from repro.modes.base import ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.padding import NONE
+
+RFC_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+RFC_MSG = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+RFC_VECTORS = [
+    (0, "bb1d6929e95937287fa37d129b756746"),
+    (16, "070a16b46b4d4144f79bdd9dd04a287c"),
+    (40, "dfa66747de9ae63030ca32611497c827"),
+    (64, "51f0bebf7e3b9d92fc49741779363cfe"),
+]
+
+
+@pytest.mark.parametrize("length,expected", RFC_VECTORS)
+def test_rfc4493_vectors(length, expected):
+    mac = OMAC(AES(RFC_KEY))
+    assert mac.tag(RFC_MSG[:length]).hex() == expected
+
+
+def test_verify():
+    mac = OMAC(AES(RFC_KEY))
+    assert mac.verify(RFC_MSG[:16], bytes.fromhex(RFC_VECTORS[1][1]))
+    assert not mac.verify(RFC_MSG[:16], bytes(16))
+
+
+def test_truncated_tags():
+    mac = OMAC(AES(RFC_KEY), tag_size=8)
+    assert mac.tag(b"msg") == OMAC(AES(RFC_KEY)).tag(b"msg")[:8]
+    with pytest.raises(ValueError):
+        OMAC(AES(RFC_KEY), tag_size=17)
+    with pytest.raises(ValueError):
+        OMAC(AES(RFC_KEY), tag_size=0)
+
+
+@given(st.binary(max_size=100), st.binary(max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_deterministic_and_message_bound(a, b):
+    mac = OMAC(AES(RFC_KEY))
+    assert mac.tag(a) == mac.tag(a)
+    if a != b:
+        assert mac.tag(a) != mac.tag(b)
+
+
+def test_chaining_values_equal_zero_iv_cbc_ciphertext():
+    """The coincidence the Sect. 3.3 interaction attack exploits: under
+    one key, OMAC's internal chain over the first s blocks equals the
+    zero-IV CBC encryption of those blocks."""
+    key = bytes(range(16))
+    message = bytes(range(64))  # 4 full blocks, with more data to follow
+    mac = OMAC(AES(key))
+    cbc = CBC(AES(key), ZeroIV(), padding=NONE, embed_iv=False)
+    chain = mac.chaining_values(message + b"tail beyond the last block....")
+    cbc_blocks = cbc.encrypt_blocks(message, bytes(16))
+    for i, value in enumerate(chain[:4]):
+        assert value == cbc_blocks[16 * i:16 * (i + 1)]
+
+
+def test_chaining_excludes_final_tweaked_block():
+    mac = OMAC(AES(RFC_KEY))
+    # A 32-byte message has one non-final block.
+    assert len(mac.chaining_values(bytes(32))) == 1
+    # Empty and single-block messages have none.
+    assert mac.chaining_values(b"") == []
+    assert mac.chaining_values(bytes(16)) == []
+
+
+def test_final_block_masking_separates_lengths():
+    """K1/K2 masking: a full final block and its 10*-padded short form
+    must not collide (the fix over raw CBC-MAC)."""
+    mac = OMAC(AES(RFC_KEY))
+    short = bytes(10)
+    padded_like = bytes(10) + b"\x80" + bytes(5)
+    assert mac.tag(short) != mac.tag(padded_like)

@@ -1,0 +1,66 @@
+"""PMAC: structural properties (no public vectors available offline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.pmac import PMAC
+from repro.primitives.aes import AES
+
+KEY = bytes(range(16))
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_deterministic(message):
+    mac = PMAC(AES(KEY))
+    assert mac.tag(message) == mac.tag(message)
+
+
+@given(st.binary(max_size=80), st.binary(max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_distinct_messages_distinct_tags(a, b):
+    mac = PMAC(AES(KEY))
+    if a != b:
+        assert mac.tag(a) != mac.tag(b)
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 31, 32, 33, 64])
+def test_length_edge_cases(length):
+    mac = PMAC(AES(KEY))
+    tag = mac.tag(bytes(length))
+    assert len(tag) == 16
+
+
+def test_full_vs_padded_final_block_distinct():
+    """The 10* padding plus L·x^{-1} masking must separate a full final
+    block from its padded short form (the PMAC analogue of OMAC K1/K2)."""
+    mac = PMAC(AES(KEY))
+    full = bytes(15) + b"\x80"
+    short = bytes(15)
+    assert mac.tag(full) != mac.tag(short)
+
+
+def test_block_reordering_detected():
+    """PMAC's per-position offsets make it order-sensitive even though
+    the block computations are parallel."""
+    mac = PMAC(AES(KEY))
+    a, b = b"A" * 16, b"B" * 16
+    assert mac.tag(a + b + b"tail") != mac.tag(b + a + b"tail")
+
+
+def test_key_separation():
+    assert PMAC(AES(bytes(16))).tag(b"m") != PMAC(AES(bytes(15) + b"\x01")).tag(b"m")
+
+
+def test_truncation():
+    mac = PMAC(AES(KEY), tag_size=4)
+    assert mac.tag(b"hello") == PMAC(AES(KEY)).tag(b"hello")[:4]
+    with pytest.raises(ValueError):
+        PMAC(AES(KEY), tag_size=0)
+
+
+def test_verify():
+    mac = PMAC(AES(KEY))
+    assert mac.verify(b"data", mac.tag(b"data"))
+    assert not mac.verify(b"data", bytes(16))

@@ -1,0 +1,126 @@
+"""CBC mode: NIST vectors, determinism, and the error-propagation
+property the paper's forgeries rely on (footnote 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BlockSizeError, PaddingError
+from repro.modes.base import CounterIV, FixedIV, RandomIV, ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.padding import NONE
+from repro.primitives.rng import DeterministicRandom
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NIST_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+NIST_CT = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d"
+    "5086cb9b507219ee95db113a917678b2"
+    "73bed6b8e3c1743b7116e69e22229516"
+    "3ff1caa1681fac09120eca307586e1a7"
+)
+
+
+def test_nist_sp800_38a_cbc_aes128_vector():
+    mode = CBC(AES(KEY), FixedIV(IV), padding=NONE, embed_iv=False)
+    assert mode.encrypt_blocks(NIST_PT, IV) == NIST_CT
+    assert mode.decrypt_blocks(NIST_CT, IV) == NIST_PT
+
+
+def test_zero_iv_matches_paper_equations():
+    """Eq. (8): C_1 = ENC_k(P_1 ⊕ IV) = ENC_k(P_1) when IV = 0."""
+    cipher = AES(KEY)
+    mode = CBC(cipher, ZeroIV())
+    block = b"exactly16bytes!!"
+    ciphertext = mode.encrypt_blocks(block, bytes(16))
+    assert ciphertext == cipher.encrypt_block(block)
+
+
+def test_zero_iv_is_deterministic():
+    mode = CBC(AES(KEY))
+    assert mode.deterministic
+    assert mode.encrypt(b"same message") == mode.encrypt(b"same message")
+
+
+def test_random_iv_is_not_deterministic():
+    mode = CBC(AES(KEY), RandomIV(DeterministicRandom("iv")))
+    assert not mode.deterministic
+    a, b = mode.encrypt(b"same message"), mode.encrypt(b"same message")
+    assert a != b
+    assert mode.decrypt(a) == mode.decrypt(b) == b"same message"
+
+
+def test_counter_iv_unique_but_embedded():
+    mode = CBC(AES(KEY), CounterIV())
+    a, b = mode.encrypt(b"msg"), mode.encrypt(b"msg")
+    assert a != b
+    assert mode.decrypt(a) == b"msg"
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_round_trip(plaintext):
+    mode = CBC(AES(KEY))
+    assert mode.decrypt(mode.encrypt(plaintext)) == plaintext
+
+
+def test_common_plaintext_prefix_gives_common_ciphertext_prefix():
+    """The observation behind every Sect. 3 pattern-matching attack."""
+    mode = CBC(AES(KEY))
+    a = mode.encrypt(b"A" * 32 + b"suffix-one......")
+    b = mode.encrypt(b"A" * 32 + b"suffix-two......")
+    assert a[:32] == b[:32]
+    assert a[32:] != b[32:]
+
+
+def test_error_propagation_is_local():
+    """Footnote 4: changing C_i garbles only plaintext blocks i and i+1."""
+    mode = CBC(AES(KEY), padding=NONE, embed_iv=False)
+    plaintext = bytes(range(16)) * 5  # 5 blocks
+    iv = bytes(16)
+    ciphertext = bytearray(mode.encrypt_blocks(plaintext, iv))
+    ciphertext[16] ^= 0xFF  # perturb block 1
+    garbled = mode.decrypt_blocks(bytes(ciphertext), iv)
+    assert garbled[:16] == plaintext[:16]          # block 0 untouched
+    assert garbled[16:32] != plaintext[16:32]      # block 1 garbled
+    assert garbled[32:48] != plaintext[32:48]      # block 2 garbled
+    assert garbled[48:] == plaintext[48:]          # blocks 3,4 untouched
+
+
+def test_bit_flip_in_block_i_flips_same_bit_in_plaintext_i_plus_1():
+    """The precise CBC malleability: P'_{i+1} = P_{i+1} ⊕ Δ."""
+    mode = CBC(AES(KEY), padding=NONE, embed_iv=False)
+    plaintext = bytes(64)
+    iv = bytes(16)
+    ciphertext = bytearray(mode.encrypt_blocks(plaintext, iv))
+    ciphertext[0] ^= 0x01
+    garbled = mode.decrypt_blocks(bytes(ciphertext), iv)
+    assert garbled[16] == plaintext[16] ^ 0x01
+    assert garbled[17:32] == plaintext[17:32]
+
+
+def test_misaligned_input_rejected():
+    mode = CBC(AES(KEY), padding=NONE, embed_iv=False)
+    with pytest.raises(BlockSizeError):
+        mode.encrypt_blocks(b"short", bytes(16))
+
+
+def test_corrupted_padding_detected():
+    mode = CBC(AES(KEY))
+    ciphertext = bytearray(mode.encrypt(b"hello"))
+    ciphertext[-1] ^= 0xFF
+    with pytest.raises(PaddingError):
+        mode.decrypt(bytes(ciphertext))
+
+
+def test_embedded_iv_too_short():
+    mode = CBC(AES(KEY), RandomIV(DeterministicRandom("x")))
+    with pytest.raises(BlockSizeError):
+        mode.decrypt(b"tooshort")

@@ -1,0 +1,65 @@
+"""IV policies and mode-level embedding semantics."""
+
+import pytest
+
+from repro.errors import NonceError
+from repro.modes.base import CounterIV, FixedIV, RandomIV, ZeroIV
+from repro.modes.cbc import CBC
+from repro.primitives.aes import AES
+from repro.primitives.rng import DeterministicRandom
+
+KEY = bytes(range(16))
+
+
+def test_zero_iv_properties():
+    policy = ZeroIV()
+    assert policy.deterministic
+    assert policy.generate(16) == bytes(16)
+    assert policy.generate(8) == bytes(8)
+
+
+def test_fixed_iv_checks_length_lazily():
+    policy = FixedIV(b"\x01" * 16)
+    assert policy.deterministic
+    assert policy.generate(16) == b"\x01" * 16
+    with pytest.raises(NonceError):
+        FixedIV(b"\x01" * 8).generate(16)
+
+
+def test_counter_iv_unique_sequence():
+    policy = CounterIV(start=5)
+    assert not policy.deterministic
+    first = policy.generate(16)
+    second = policy.generate(16)
+    assert first != second
+    assert int.from_bytes(second, "big") == int.from_bytes(first, "big") + 1
+
+
+def test_random_iv_draws_from_rng():
+    policy = RandomIV(DeterministicRandom("ivs"))
+    assert not policy.deterministic
+    assert policy.generate(16) != policy.generate(16)
+
+
+def test_embed_iv_default_follows_determinism():
+    deterministic = CBC(AES(KEY), ZeroIV())
+    randomised = CBC(AES(KEY), RandomIV(DeterministicRandom("x")))
+    message = b"0123456789abcdef"
+    # Zero-IV: no IV transported, ciphertext is exactly the blocks.
+    assert len(deterministic.encrypt(message)) == 32  # 1 block + pad block
+    # Random IV: one extra block carries the IV.
+    assert len(randomised.encrypt(message)) == 48
+
+
+def test_embed_iv_override():
+    # A deterministic policy may still be asked to embed (wasteful but legal).
+    mode = CBC(AES(KEY), ZeroIV(), embed_iv=True)
+    ciphertext = mode.encrypt(b"message")
+    assert ciphertext[:16] == bytes(16)  # the embedded zero IV
+    assert mode.decrypt(ciphertext) == b"message"
+
+
+def test_fixed_iv_interoperates_across_instances():
+    a = CBC(AES(KEY), FixedIV(b"\x42" * 16))
+    b = CBC(AES(KEY), FixedIV(b"\x42" * 16))
+    assert b.decrypt(a.encrypt(b"shared-iv message")) == b"shared-iv message"

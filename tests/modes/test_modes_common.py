@@ -1,0 +1,93 @@
+"""Cross-mode behaviour: round trips, ECB leakage, stream-mode breaks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modes import CBC, CFB, CTR, ECB, OFB, RandomIV, ZeroIV
+from repro.primitives.aes import AES
+from repro.primitives.des import DES
+from repro.primitives.rng import DeterministicRandom
+from repro.primitives.util import xor_bytes_strict
+
+KEY = bytes(range(16))
+
+
+def all_modes(cipher):
+    return [ECB(cipher), CBC(cipher), CTR(cipher), OFB(cipher), CFB(cipher)]
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 31, 32, 100])
+def test_round_trip_all_modes(length):
+    data = bytes((i * 13) % 256 for i in range(length))
+    for mode in all_modes(AES(KEY)):
+        assert mode.decrypt(mode.encrypt(data)) == data, mode.name
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=25, deadline=None)
+def test_round_trip_property_streaming_modes(data):
+    for cls in (CTR, OFB, CFB):
+        mode = cls(AES(KEY))
+        assert mode.decrypt(mode.encrypt(data)) == data
+
+
+def test_modes_work_over_des_too():
+    for mode in all_modes(DES(bytes(8))):
+        assert mode.decrypt(mode.encrypt(b"variable length data...")) == (
+            b"variable length data..."
+        )
+
+
+def test_ecb_leaks_equal_blocks():
+    """The paper: ECB 'would be even worse' — equal blocks leak anywhere."""
+    mode = ECB(AES(KEY))
+    ciphertext = mode.encrypt(b"A" * 16 + b"B" * 16 + b"A" * 16)
+    assert ciphertext[:16] == ciphertext[32:48]
+    # CBC only leaks equal *prefixes*, not arbitrary repeated blocks.
+    cbc = CBC(AES(KEY))
+    cbc_ct = cbc.encrypt(b"A" * 16 + b"B" * 16 + b"A" * 16)
+    assert cbc_ct[:16] != cbc_ct[32:48]
+
+
+@pytest.mark.parametrize("cls", [CTR, OFB])
+def test_footnote2_keystream_reuse(cls):
+    """Footnote 2: deterministic stream modes reuse the keystream, so
+    C ⊕ C' = P ⊕ P' — a total confidentiality loss."""
+    mode = cls(AES(KEY))
+    p1 = b"attack at dawn!! (not really)"
+    p2 = b"defend at dusk?? (absolutely)"
+    c1, c2 = mode.encrypt(p1), mode.encrypt(p2)
+    usable = min(len(c1), len(c2))
+    assert xor_bytes_strict(c1[:usable], c2[:usable]) == xor_bytes_strict(
+        p1[:usable], p2[:usable]
+    )
+
+
+@pytest.mark.parametrize("cls", [CTR, OFB])
+def test_stream_modes_with_random_iv_do_not_reuse(cls):
+    mode = cls(AES(KEY), RandomIV(DeterministicRandom("s")))
+    c1, c2 = mode.encrypt(b"same plaintext"), mode.encrypt(b"same plaintext")
+    assert c1 != c2
+    assert mode.decrypt(c1) == mode.decrypt(c2) == b"same plaintext"
+
+
+def test_keystream_exposure_matches_encryption():
+    mode = CTR(AES(KEY))
+    stream = mode.keystream(bytes(16), 29)
+    assert mode.encrypt(b"\x00" * 29) == stream
+
+
+def test_cfb_deterministic_prefix_leak():
+    mode = CFB(AES(KEY))
+    a = mode.encrypt(b"P" * 32 + b"one")
+    b = mode.encrypt(b"P" * 32 + b"two")
+    assert a[:32] == b[:32]
+
+
+def test_ctr_counter_wraps_at_block_boundary():
+    mode = CTR(AES(KEY))
+    # Starting from the all-ones counter must wrap, not crash.
+    out = mode.encrypt_blocks(bytes(48), b"\xff" * 16)
+    assert len(out) == 48
+    assert mode.decrypt_blocks(out, b"\xff" * 16) == bytes(48)

@@ -1,0 +1,76 @@
+"""NIST SP 800-38A vectors for CTR, OFB, and CFB over AES-128.
+
+CBC is covered in test_cbc.py; these pin down the stream modes the
+paper's footnote 2 discusses.
+"""
+
+from repro.modes.base import FixedIV
+from repro.modes.cbc import CBC
+from repro.modes.cfb import CFB
+from repro.modes.ctr import CTR
+from repro.modes.ofb import OFB
+from repro.primitives.aes import AES
+from repro.primitives.padding import NONE
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+def test_ctr_aes128():
+    iv = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+    expected = bytes.fromhex(
+        "874d6191b620e3261bef6864990db6ce"
+        "9806f66b7970fdff8617187bb9fffdff"
+        "5ae4df3edbd5d35e5b4f09020db03eab"
+        "1e031dda2fbe03d1792170a0f3009cee"
+    )
+    mode = CTR(AES(KEY))
+    assert mode.encrypt_blocks(PT, iv) == expected
+    assert mode.decrypt_blocks(expected, iv) == PT
+
+
+def test_ofb_aes128():
+    iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex(
+        "3b3fd92eb72dad20333449f8e83cfb4a"
+        "7789508d16918f03f53c52dac54ed825"
+        "9740051e9c5fecf64344f7a82260edcc"
+        "304c6528f659c77866a510d9c1d6ae5e"
+    )
+    mode = OFB(AES(KEY))
+    assert mode.encrypt_blocks(PT, iv) == expected
+    assert mode.decrypt_blocks(expected, iv) == PT
+
+
+def test_cfb128_aes128():
+    iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex(
+        "3b3fd92eb72dad20333449f8e83cfb4a"
+        "c8a64537a0b3a93fcde3cdad9f1ce58b"
+        "26751f67a3cbb140b1808cf187a4f4df"
+        "c04b05357c5d1c0eeac4c66f9ff7f2e6"
+    )
+    mode = CFB(AES(KEY))
+    assert mode.encrypt_blocks(PT, iv) == expected
+    assert mode.decrypt_blocks(expected, iv) == PT
+
+
+def test_cbc_aes256():
+    key = bytes.fromhex(
+        "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+    )
+    iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex(
+        "f58c4c04d6e5f1ba779eabfb5f7bfbd6"
+        "9cfc4e967edb808d679f777bc6702c7d"
+        "39f23369a9d9bacfa530e26304231461"
+        "b2eb05e2c39be9fcda6c19078c6a9d1b"
+    )
+    mode = CBC(AES(key), FixedIV(iv), padding=NONE, embed_iv=False)
+    assert mode.encrypt_blocks(PT, iv) == expected
+    assert mode.decrypt_blocks(expected, iv) == PT

@@ -1,0 +1,43 @@
+"""Block-cipher wrappers: the invocation counter and identity cipher."""
+
+import pytest
+
+from repro.errors import BlockSizeError
+from repro.primitives.aes import AES
+from repro.primitives.blockcipher import CountingCipher, IdentityCipher
+
+
+def test_counting_cipher_is_transparent():
+    inner = AES(bytes(16))
+    counting = CountingCipher(AES(bytes(16)))
+    block = b"0123456789abcdef"
+    assert counting.encrypt_block(block) == inner.encrypt_block(block)
+    assert counting.decrypt_block(block) == inner.decrypt_block(block)
+
+
+def test_counting_cipher_counts():
+    counting = CountingCipher(AES(bytes(16)))
+    block = bytes(16)
+    for _ in range(5):
+        counting.encrypt_block(block)
+    for _ in range(3):
+        counting.decrypt_block(block)
+    assert counting.encrypt_calls == 5
+    assert counting.decrypt_calls == 3
+    assert counting.total_calls == 8
+    counting.reset()
+    assert counting.total_calls == 0
+
+
+def test_counting_cipher_metadata():
+    counting = CountingCipher(AES(bytes(16)))
+    assert counting.block_size == 16
+    assert counting.name == "counting(aes-128)"
+
+
+def test_identity_cipher():
+    cipher = IdentityCipher(8)
+    assert cipher.encrypt_block(b"12345678") == b"12345678"
+    assert cipher.decrypt_block(b"12345678") == b"12345678"
+    with pytest.raises(BlockSizeError):
+        cipher.encrypt_block(b"123")

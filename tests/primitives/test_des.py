@@ -1,0 +1,72 @@
+"""DES / Triple-DES against published vectors and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyLengthError
+from repro.primitives.des import DES, TripleDES
+
+
+def test_classic_des_vector():
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    ciphertext = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+    assert ciphertext.hex().upper() == "85E813540F0AB405"
+
+
+def test_all_zero_key_vector():
+    # Known KAT: DES with zero key on zero block.
+    cipher = DES(bytes(8))
+    assert cipher.encrypt_block(bytes(8)).hex().upper() == "8CA64DE9C1B123A7"
+
+
+def test_decrypt_inverts_known_vector():
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    plaintext = cipher.decrypt_block(bytes.fromhex("85E813540F0AB405"))
+    assert plaintext.hex().upper() == "0123456789ABCDEF"
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_des_round_trip(key, block):
+    cipher = DES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=24, max_size=24), st.binary(min_size=8, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_3des_round_trip(key, block):
+    cipher = TripleDES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_3des_with_equal_keys_is_single_des():
+    key = bytes.fromhex("133457799BBCDFF1")
+    block = bytes.fromhex("0123456789ABCDEF")
+    assert TripleDES(key * 3).encrypt_block(block) == DES(key).encrypt_block(block)
+
+
+def test_3des_two_key_form():
+    key = bytes(range(16))
+    block = b"ABCDEFGH"
+    two_key = TripleDES(key)
+    three_key = TripleDES(key + key[:8])
+    assert two_key.encrypt_block(block) == three_key.encrypt_block(block)
+
+
+@pytest.mark.parametrize("length", [0, 7, 9, 16])
+def test_des_key_length(length):
+    with pytest.raises(KeyLengthError):
+        DES(bytes(length))
+
+
+@pytest.mark.parametrize("length", [0, 8, 23, 25])
+def test_3des_key_length(length):
+    with pytest.raises(KeyLengthError):
+        TripleDES(bytes(length))
+
+
+def test_des_block_size_is_8():
+    # The substitution attack's cost scales with block size b (Sect. 3.1);
+    # DES's b=8 gives the 2^8-trials ablation point.
+    assert DES(bytes(8)).block_size == 8

@@ -1,0 +1,88 @@
+"""Padding schemes: round trips and malformed-input rejection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PaddingError
+from repro.primitives.padding import (
+    NONE,
+    PKCS7,
+    STREAM,
+    ZERO,
+    get_padding,
+)
+
+
+@given(st.binary(max_size=100), st.integers(min_value=1, max_value=32))
+@settings(max_examples=60, deadline=None)
+def test_pkcs7_round_trip(data, block_size):
+    padded = PKCS7.pad(data, block_size)
+    assert len(padded) % block_size == 0
+    assert len(padded) > len(data)  # always adds at least one byte
+    assert PKCS7.unpad(padded, block_size) == data
+
+
+def test_pkcs7_full_block_for_aligned_input():
+    padded = PKCS7.pad(b"A" * 16, 16)
+    assert len(padded) == 32
+    assert padded[16:] == bytes([16]) * 16
+
+
+def test_pkcs7_rejects_bad_length_byte():
+    with pytest.raises(PaddingError):
+        PKCS7.unpad(b"A" * 15 + b"\x00", 16)
+    with pytest.raises(PaddingError):
+        PKCS7.unpad(b"A" * 15 + b"\x11", 16)
+
+
+def test_pkcs7_rejects_inconsistent_padding():
+    with pytest.raises(PaddingError):
+        PKCS7.unpad(b"A" * 13 + b"\x01\x02\x03", 16)
+
+
+def test_pkcs7_rejects_empty_and_misaligned():
+    with pytest.raises(PaddingError):
+        PKCS7.unpad(b"", 16)
+    with pytest.raises(PaddingError):
+        PKCS7.unpad(b"A" * 17, 16)
+
+
+def test_pkcs7_block_size_range():
+    with pytest.raises(ValueError):
+        PKCS7.pad(b"x", 0)
+    with pytest.raises(ValueError):
+        PKCS7.pad(b"x", 256)
+
+
+@given(st.binary(max_size=64).filter(lambda d: not d or d[-1] != 0))
+@settings(max_examples=40, deadline=None)
+def test_zero_padding_round_trip_without_trailing_zeros(data):
+    padded = ZERO.pad(data, 16)
+    assert len(padded) % 16 == 0
+    assert ZERO.unpad(padded, 16) == data
+
+
+def test_zero_padding_is_lossy_for_trailing_zeros():
+    # Documented limitation: trailing NULs are stripped.
+    assert ZERO.unpad(ZERO.pad(b"abc\x00", 8), 8) == b"abc"
+
+
+def test_no_padding_requires_alignment():
+    assert NONE.pad(b"A" * 16, 16) == b"A" * 16
+    with pytest.raises(PaddingError):
+        NONE.pad(b"A" * 15, 16)
+
+
+def test_stream_padding_is_identity():
+    assert STREAM.pad(b"odd length!", 16) == b"odd length!"
+    assert STREAM.unpad(b"odd length!", 16) == b"odd length!"
+
+
+def test_registry():
+    assert get_padding("pkcs7") is PKCS7
+    assert get_padding("zero") is ZERO
+    assert get_padding("none") is NONE
+    assert get_padding("stream") is STREAM
+    with pytest.raises(ValueError):
+        get_padding("bogus")

@@ -1,0 +1,89 @@
+"""SHA-1 / SHA-256 against hashlib and NIST vectors."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.sha1 import SHA1, sha1, sha1_truncated
+from repro.primitives.sha256 import SHA256, sha256
+
+
+def test_sha1_known_vectors():
+    assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+    assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+
+def test_sha256_known_vectors():
+    assert sha256(b"abc").hex() == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+    assert sha256(b"").hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+@given(st.binary(max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_sha1_matches_hashlib(data):
+    assert sha1(data) == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_sha256_matches_hashlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@pytest.mark.parametrize("size", [55, 56, 57, 63, 64, 65, 119, 120, 128])
+def test_padding_boundaries(size):
+    # Lengths around the 64-byte block and 55/56-byte padding boundary.
+    data = bytes(range(256))[:size] * 1
+    assert sha1(data) == hashlib.sha1(data).digest()
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.lists(st.binary(max_size=100), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_incremental_update_equals_one_shot(chunks):
+    joined = b"".join(chunks)
+    for cls, module in ((SHA1, hashlib.sha1), (SHA256, hashlib.sha256)):
+        inc = cls()
+        for chunk in chunks:
+            inc.update(chunk)
+        assert inc.digest() == module(joined).digest()
+
+
+def test_digest_does_not_consume_state():
+    h = SHA256(b"part-one")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b"part-two")
+    assert h.digest() == sha256(b"part-onepart-two")
+
+
+def test_copy_is_independent():
+    h = SHA1(b"shared")
+    clone = h.copy()
+    clone.update(b"-more")
+    assert h.digest() == sha1(b"shared")
+    assert clone.digest() == sha1(b"shared-more")
+
+
+def test_sha1_truncated_is_prefix():
+    digest = sha1(b"value")
+    assert sha1_truncated(b"value", 16) == digest[:16]
+    assert sha1_truncated(b"value", 20) == digest
+    assert len(sha1_truncated(b"value")) == 16  # the paper's 128-bit µ
+
+
+@pytest.mark.parametrize("length", [0, 21, 32])
+def test_sha1_truncation_bounds(length):
+    with pytest.raises(ValueError):
+        sha1_truncated(b"x", length)
+
+
+def test_hexdigest():
+    assert SHA256(b"abc").hexdigest() == hashlib.sha256(b"abc").hexdigest()
+    assert SHA1(b"abc").hexdigest() == hashlib.sha1(b"abc").hexdigest()

@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "plaintext visible in storage: False" in out
+
+
+def test_collisions(capsys):
+    assert main(["collisions", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "256 addresses" in out
+
+
+def test_collisions_default_mentions_paper(capsys):
+    assert main(["collisions"]) == 0
+    assert "found 6" in capsys.readouterr().out
+
+
+def test_overhead(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "storage overhead" in out
+    assert "2n+m+1" in out
+
+
+def test_attacks(capsys):
+    assert main(["attacks"]) == 0
+    out = capsys.readouterr().out
+    assert "broken" in out and "fixed" in out
+    # The broken configuration loses everywhere; the fix nowhere.
+    for line in out.splitlines():
+        if line.startswith("broken"):
+            assert line.rstrip().endswith("yes")
+        if line.startswith("fixed"):
+            assert line.rstrip().endswith("no")
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+
+
+def test_no_command(capsys):
+    assert main([]) == 2
+    assert "Commands" in capsys.readouterr().out

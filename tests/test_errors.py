@@ -1,0 +1,47 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.CryptoError, errors.ReproError)
+    assert issubclass(errors.AuthenticationError, errors.CryptoError)
+    assert issubclass(errors.DecryptionError, errors.CryptoError)
+    assert issubclass(errors.PaddingError, errors.CryptoError)
+    assert issubclass(errors.NonceError, errors.CryptoError)
+    assert issubclass(errors.KeyLengthError, errors.CryptoError)
+    assert issubclass(errors.BlockSizeError, errors.CryptoError)
+    assert issubclass(errors.SchemaError, errors.EngineError)
+    assert issubclass(errors.EngineError, errors.ReproError)
+    assert issubclass(errors.IndexCorruptionError, errors.EngineError)
+    assert issubclass(errors.SessionError, errors.ReproError)
+
+
+def test_crypto_errors_do_not_leak_engine_and_vice_versa():
+    assert not issubclass(errors.EngineError, errors.CryptoError)
+    assert not issubclass(errors.CryptoError, errors.EngineError)
+
+
+def test_catching_the_base_class_catches_everything():
+    for exc in (
+        errors.AuthenticationError("x"),
+        errors.SchemaError("x"),
+        errors.SessionError("x"),
+        errors.AttackFailedError("x"),
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc
+
+
+def test_authentication_error_is_the_paper_invalid():
+    """The fixed schemes raise AuthenticationError('invalid') for every
+    failure cause — the eq. (22) contract."""
+    from repro.aead.eax import EAX
+    from repro.primitives.aes import AES
+
+    aead = EAX(AES(bytes(16)))
+    ciphertext, tag = aead.encrypt(b"n", b"data", b"h")
+    with pytest.raises(errors.AuthenticationError, match="^invalid$"):
+        aead.decrypt(b"n", ciphertext, tag, b"other")

@@ -1,0 +1,213 @@
+"""Cross-layer integration scenarios.
+
+Each test exercises a whole storyline from the paper through the public
+API: broken configuration → attack succeeds end to end; fixed
+configuration → the same storyline fails closed.
+"""
+
+import pytest
+
+from repro.attacks.forgery import forge_append_cell
+from repro.attacks.index_linkage import find_index_table_links
+from repro.attacks.mac_interaction import forge_entry_via_mac_interaction
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.core.session import ClientSideTraversal, SecureSession
+from repro.engine.query import PointQuery, RangeQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import dump_database, load_database
+from repro.errors import AuthenticationError, CryptoError
+from repro.workloads.datasets import build_documents_db, build_patients_db
+
+MASTER = b"integration-test-master-key-0123"
+
+
+# ---------------------------------------------------------------- footnote 1
+
+
+class TestFootnote1LeafVerificationBugs:
+    """[12]'s published query code verifies inner nodes but not leaves."""
+
+    def build(self, leaf_bug: bool):
+        db = build_documents_db(
+            EncryptionConfig(
+                cell_scheme="append",
+                index_scheme="dbsec2005",
+                faithful_leaf_bug=leaf_bug,
+            ),
+            rows=12, groups=12,
+        )
+        return db, db.index("documents_by_body").structure
+
+    def swap_two_leaves(self, index):
+        leaves = [r for r in index.raw_rows() if r.is_leaf and not r.deleted]
+        a, b = leaves[2], leaves[5]
+        pa, pb = a.payload, b.payload
+        index.tamper(a.row_id, pb)
+        index.tamper(b.row_id, pa)
+        return a.row_id, b.row_id
+
+    def test_buggy_traversal_returns_swapped_results_silently(self):
+        db, index = self.build(leaf_bug=True)
+        truth = index.items()
+        self.swap_two_leaves(index)
+        # The faithful [12] pseudo-code answers the query without error...
+        swapped = index.range_search(truth[0][0], truth[-1][0])
+        assert len(swapped) == len(truth)
+        # ...but the answer is wrong: two rows now sit at wrong key slots.
+        assert [row for _, row in swapped] != [row for _, row in truth]
+
+    def test_fixed_traversal_detects_the_swap(self):
+        db, index = self.build(leaf_bug=False)
+        truth = index.items()
+        self.swap_two_leaves(index)
+        with pytest.raises(AuthenticationError):
+            index.range_search(truth[0][0], truth[-1][0])
+
+    def test_inner_nodes_are_verified_even_in_buggy_mode(self):
+        db, index = self.build(leaf_bug=True)
+        # The root is on every descent path, so its verification always runs.
+        root = index.row(index.root_id)
+        assert not root.is_leaf
+        index.tamper(root.row_id, b"\x00" * len(root.payload))
+        with pytest.raises((AuthenticationError, CryptoError)):
+            index.range_search(b"\x00" * 8, b"\xff" * 8)
+
+
+# ------------------------------------------------------- end-to-end attack path
+
+
+class TestOfflineAttackViaStorageImage:
+    """Adversary copies storage, tampers offline, victim reloads."""
+
+    def test_append_scheme_accepts_offline_tamper(self):
+        config = EncryptionConfig(cell_scheme="append", index_scheme="plain")
+        db = build_documents_db(config, rows=4, index_kind=None)
+        image = dump_database(db)
+
+        # Adversary (no key): reload structurally, flip a block, re-dump.
+        hostile = load_database(image)
+        stored = hostile.table("documents").get_cell(0, 1)
+        mutated = bytes([stored[0] ^ 1]) + stored[1:]
+        hostile.table("documents").set_cell(0, 1, mutated)
+        tampered_image = dump_database(hostile)
+
+        # Victim reloads with the key: the forgery decrypts "fine".
+        victim_codec = EncryptedDatabase(
+            b"repro-master-key-0123456789abcdef", config
+        )
+        victim = load_database(
+            tampered_image,
+            cell_codec=victim_codec.cell_codec,
+            index_codec_factory=victim_codec._build_index_codec,
+        )
+        plaintext = victim.get_cell_plaintext("documents", 0, "body")
+        original = db.get_cell_plaintext("documents", 0, "body")
+        assert plaintext != original  # accepted, silently different
+
+    def test_fixed_scheme_rejects_offline_tamper(self):
+        config = EncryptionConfig.paper_fixed("eax")
+        db = build_documents_db(config, rows=4, index_kind=None)
+        image = dump_database(db)
+        hostile = load_database(image)
+        stored = hostile.table("documents").get_cell(0, 1)
+        hostile.table("documents").set_cell(0, 1, b"\xff" + stored[1:])
+        tampered_image = dump_database(hostile)
+        victim_codec = EncryptedDatabase(
+            b"repro-master-key-0123456789abcdef", config
+        )
+        victim = load_database(
+            tampered_image,
+            cell_codec=victim_codec.cell_codec,
+            index_codec_factory=victim_codec._build_index_codec,
+        )
+        with pytest.raises(AuthenticationError):
+            victim.get_cell_plaintext("documents", 0, "body")
+
+
+# --------------------------------------------------------- whole-paper storyline
+
+
+class TestPaperStoryline:
+    """One pass over the paper's argument at the public-API level."""
+
+    def test_broken_config_fails_three_ways_fixed_config_none(self):
+        broken = build_documents_db(
+            EncryptionConfig(cell_scheme="append", index_scheme="dbsec2005"),
+            rows=10, groups=5,
+        )
+        fixed = build_documents_db(
+            EncryptionConfig.paper_fixed("eax"), rows=10, groups=5
+        )
+
+        # 1. Linkage: index entries correlate with cells (broken only).
+        assert find_index_table_links(
+            broken.storage_view(), "documents_by_body", "documents", 1
+        )
+        assert not find_index_table_links(
+            fixed.storage_view(), "documents_by_body", "documents", 1
+        )
+
+        # 2. Cell forgery (broken only).
+        assert forge_append_cell(
+            broken, broken.storage_view(), "documents", 0, 1, "body"
+        ).is_existential_forgery
+        from repro.attacks.forgery import ForgeryResult
+
+        fixed_result = forge_append_cell(
+            fixed, fixed.storage_view(), "documents", 0, 1, "body"
+        )
+        assert not fixed_result.accepted
+
+        # 3. MAC interaction forgery (broken only; fixed has no [12] MAC).
+        index = broken.index("documents_by_body").structure
+        live = next(r.row_id for r in index.raw_rows() if not r.deleted)
+        assert forge_entry_via_mac_interaction(index, live, 64).is_forgery
+
+    def test_queries_unaffected_by_the_fix(self):
+        """The fix changes storage, not semantics: both configurations
+        answer every query identically."""
+        broken = build_patients_db(EncryptionConfig.paper_broken(), rows=60)
+        fixed = build_patients_db(EncryptionConfig.paper_fixed("ccfb"), rows=60)
+        for query in (
+            PointQuery("patients", "age", 40),
+            RangeQuery("patients", "age", 30, 35),
+            PointQuery("patients", "name", broken.get_value("patients", 7, "name")),
+        ):
+            assert query.execute(broken).rows == query.execute(fixed).rows
+
+
+# ----------------------------------------------------------------- remark 1
+
+
+def test_remark1_no_key_handover_workflow():
+    """Search without giving the server the key: the session stays
+    closed, the client decrypts per round, answers match server-side."""
+    db = build_patients_db(EncryptionConfig.paper_fixed("eax"), rows=80)
+    session = SecureSession(db)
+    assert not session.is_open  # no handover happened
+
+    column = db.table("patients").schema.column("age")
+    target = column.encode(40)
+    trace = ClientSideTraversal(db.index("patients_by_age").structure).search(target)
+
+    with session:
+        server_side = session.execute(PointQuery("patients", "age", 40))
+    assert sorted(trace.row_ids) == sorted(server_side.row_ids())
+    assert trace.rounds > 1  # the extra communication Remark 1 prices in
+
+
+def test_mixed_sensitivity_schema_end_to_end():
+    schema = TableSchema(
+        "mixed",
+        [
+            Column("id", ColumnType.INT, sensitive=False),
+            Column("secret", ColumnType.TEXT, sensitive=True),
+        ],
+    )
+    db = EncryptedDatabase(MASTER, EncryptionConfig.paper_fixed("eax"))
+    db.create_table(schema)
+    db.insert("mixed", [1, "hidden"])
+    storage = db.storage_view()
+    assert storage.cell("mixed", 0, 0) == (1 + 2**63).to_bytes(8, "big")
+    assert b"hidden" not in storage.cell("mixed", 0, 1)
+    assert db.get_row("mixed", 0) == [1, "hidden"]

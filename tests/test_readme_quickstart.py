@@ -1,0 +1,37 @@
+"""The README and package-docstring quickstart snippets must stay true."""
+
+from repro import EncryptedDatabase, EncryptionConfig
+from repro.engine import Column, ColumnType, PointQuery, TableSchema
+
+
+def test_package_docstring_quickstart():
+    db = EncryptedDatabase(
+        b"0123456789abcdef" * 2, EncryptionConfig.paper_fixed("eax")
+    )
+    db.create_table(TableSchema("t", [Column("v", ColumnType.TEXT)]))
+    db.insert("t", ["secret"])
+    db.create_index("t_v", "t", "v")
+    result = PointQuery("t", "v", "secret").execute(db)
+    assert result.row_ids() == [0]
+
+
+def test_readme_quickstart():
+    db = EncryptedDatabase(
+        b"change-me-to-32-secret-bytes!!!!",
+        EncryptionConfig.paper_fixed("eax"),
+    )
+    db.create_table(TableSchema("patients", [
+        Column("id", ColumnType.INT, sensitive=False),
+        Column("diagnosis", ColumnType.TEXT),
+    ]))
+    db.insert("patients", [1, "hypertension"])
+    db.create_index("by_diagnosis", "patients", "diagnosis")
+    result = PointQuery("patients", "diagnosis", "hypertension").execute(db)
+    assert len(result) == 1
+
+
+def test_readme_config_switches_exist():
+    broken = EncryptionConfig.paper_broken(index_scheme="dbsec2005")
+    assert broken.with_(iv_policy="random").iv_policy == "random"
+    assert broken.with_(mac_shared_key=False).mac_shared_key is False
+    assert broken.with_(faithful_leaf_bug=False).faithful_leaf_bug is False

@@ -1,0 +1,61 @@
+"""The pre-packaged dataset builders."""
+
+import pytest
+
+from repro.core.encrypted_db import EncryptionConfig
+from repro.engine.query import PointQuery
+from repro.workloads.datasets import (
+    DOCUMENTS_SCHEMA,
+    PATIENTS_SCHEMA,
+    build_documents_db,
+    build_patients_db,
+)
+
+
+def test_patients_db_shape():
+    db = build_patients_db(EncryptionConfig.paper_fixed("eax"), rows=30)
+    assert db.count("patients") == 30
+    assert db.index_names == ["patients_by_age", "patients_by_name"]
+    row = db.get_row("patients", 0)
+    assert len(row) == len(PATIENTS_SCHEMA.columns)
+    assert 18 <= row[3] < 88
+
+
+def test_patients_db_without_indexes():
+    db = build_patients_db(
+        EncryptionConfig(cell_scheme="plain", index_scheme="plain"),
+        rows=5, with_indexes=False,
+    )
+    assert db.index_names == []
+
+
+def test_patients_db_deterministic():
+    a = build_patients_db(EncryptionConfig(cell_scheme="plain", index_scheme="plain"), rows=10)
+    b = build_patients_db(EncryptionConfig(cell_scheme="plain", index_scheme="plain"), rows=10)
+    assert list(a.scan("patients")) == list(b.scan("patients"))
+
+
+def test_documents_db_prefix_groups():
+    db = build_documents_db(
+        EncryptionConfig(cell_scheme="plain", index_scheme="plain"),
+        rows=12, groups=3, prefix_blocks=2, total_blocks=4,
+    )
+    bodies = [row[1] for _, row in db.scan("documents")]
+    assert all(len(body) == 64 for body in bodies)
+    for i in range(12):
+        for j in range(i + 1, 12):
+            assert (bodies[i][:32] == bodies[j][:32]) == (i % 3 == j % 3)
+
+
+def test_documents_db_index_kinds():
+    for kind in ("table", "btree", None):
+        db = build_documents_db(
+            EncryptionConfig(cell_scheme="plain", index_scheme="plain"),
+            rows=6, index_kind=kind,
+        )
+        if kind is None:
+            assert db.index_names == []
+        else:
+            assert db.index_names == ["documents_by_body"]
+            body = db.get_value("documents", 2, "body")
+            assert PointQuery("documents", "body", body).execute(db).row_ids() == [2]

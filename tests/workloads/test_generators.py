@@ -1,0 +1,75 @@
+"""Workload generators: shapes and determinism."""
+
+import pytest
+
+from repro.primitives.util import is_ascii
+from repro.workloads.generators import (
+    ascii_string,
+    default_rng,
+    patient_rows,
+    person_name,
+    shared_prefix_strings,
+    single_block_ascii,
+    zipf_integers,
+)
+
+
+def test_ascii_string_shape():
+    rng = default_rng("t")
+    s = ascii_string(rng, 50)
+    assert len(s) == 50
+    assert is_ascii(s.encode("ascii"))
+
+
+def test_single_block_is_exactly_one_block():
+    rng = default_rng("t")
+    value = single_block_ascii(rng)
+    assert len(value.encode("ascii")) == 16
+
+
+def test_determinism():
+    assert ascii_string(default_rng("x"), 30) == ascii_string(default_rng("x"), 30)
+    assert patient_rows(default_rng("p"), 5) == patient_rows(default_rng("p"), 5)
+
+
+def test_shared_prefix_groups():
+    rng = default_rng("sp")
+    strings = shared_prefix_strings(rng, 12, prefix_blocks=2, total_blocks=4, groups=3)
+    assert len(strings) == 12
+    assert all(len(s) == 64 for s in strings)
+    for i in range(12):
+        for j in range(i + 1, 12):
+            same_group = i % 3 == j % 3
+            share = strings[i][:32] == strings[j][:32]
+            assert share == same_group, (i, j)
+
+
+def test_shared_prefix_validation():
+    with pytest.raises(ValueError):
+        shared_prefix_strings(default_rng("x"), 4, prefix_blocks=4, total_blocks=4)
+
+
+def test_zipf_skew():
+    rng = default_rng("z")
+    values = zipf_integers(rng, 2000, universe=100)
+    assert all(0 <= v < 100 for v in values)
+    head = sum(1 for v in values if v == 0)
+    tail = sum(1 for v in values if v == 99)
+    assert head > tail
+    assert head > len(values) * 0.05
+
+
+def test_patient_rows_shape():
+    rows = patient_rows(default_rng("pr"), 20)
+    assert len(rows) == 20
+    for pid, name, diag, age in rows:
+        assert isinstance(pid, int)
+        assert " " in name
+        assert diag
+        assert 18 <= age < 88
+
+
+def test_person_name_from_vocab():
+    name = person_name(default_rng("n"))
+    first, last = name.split(" ")
+    assert first and last
