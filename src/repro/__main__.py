@@ -8,6 +8,10 @@ Commands:
 * ``overhead`` — print the Sect. 4 storage / invocation tables.
 * ``collisions [N]`` — rerun the paper's µ collision experiment with N
   trial addresses (default 1024).
+* ``faultcampaign [--seeds N]`` — sweep N seeded storage faults
+  (default 25) across every scheme configuration and print the
+  detection matrix; exits non-zero if the matrix contradicts the
+  paper's claims or the resilient loader ever raises.
 """
 
 from __future__ import annotations
@@ -116,6 +120,41 @@ def _overhead() -> int:
     return 0
 
 
+def _faultcampaign(argv: list[str]) -> int:
+    from repro.robustness import run_campaign
+
+    seeds = 25
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--seeds" and args:
+            seeds = int(args.pop(0))
+        elif arg.startswith("--seeds="):
+            seeds = int(arg.split("=", 1)[1])
+        else:
+            print(f"unknown faultcampaign argument {arg!r}", file=sys.stderr)
+            return 2
+    result = run_campaign(seeds=seeds)
+    print(result.format_matrix())
+    recovered = sum(r.rows_recovered for r in result.records)
+    quarantined = sum(r.rows_quarantined for r in result.records)
+    print()
+    print(
+        f"resilient loader: {len(result.records)} faulted images, "
+        f"{len(result.resilient_failures)} crashes, "
+        f"{recovered} rows recovered, {quarantined} rows quarantined"
+    )
+    violations = result.check_paper_expectations()
+    if violations:
+        print()
+        for violation in violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("matrix consistent with the paper's claims "
+          "(broken schemes corrupt silently, AEAD never does)")
+    return 0
+
+
 def _collisions(argv: list[str]) -> int:
     trials = int(argv[0]) if argv else 1024
     experiment = run_collision_experiment(trials)
@@ -139,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
         return _overhead()
     if command == "collisions":
         return _collisions(rest)
+    if command == "faultcampaign":
+        return _faultcampaign(rest)
     print(f"unknown command {command!r}\n", file=sys.stderr)
     print(__doc__)
     return 2

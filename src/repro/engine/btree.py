@@ -106,6 +106,11 @@ class BPlusTree:
         if node.is_leaf:
             internal: tuple[int, ...] = (node.next_leaf,)
         else:
+            if slot + 1 >= len(node.children):
+                raise IndexCorruptionError(
+                    f"inner node {node.node_id} holds {len(node.entries)} "
+                    f"entries but only {len(node.children)} children"
+                )
             internal = (node.children[slot], node.children[slot + 1])
         return EntryRefs(
             index_table=self.index_table_id,
@@ -416,8 +421,14 @@ class BPlusTree:
             self.observer(node_id)
 
     def _leaf_for(self, key: bytes) -> int:
-        node = self._nodes[self._root]
+        node = self.node(self._root)
+        seen: set[int] = set()
         while not node.is_leaf:
+            if node.node_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle through inner node {node.node_id}"
+                )
+            seen.add(node.node_id)
             self._observe(node.node_id)
             position = len(node.entries)
             for slot in range(len(node.entries)):
@@ -425,7 +436,11 @@ class BPlusTree:
                 if key <= sep_key:
                     position = slot
                     break
-            node = self._nodes[node.children[position]]
+            if position >= len(node.children):
+                raise IndexCorruptionError(
+                    f"inner node {node.node_id} lacks child {position}"
+                )
+            node = self.node(node.children[position])
         return node.node_id
 
     def search(self, key: bytes) -> list[int]:
@@ -433,8 +448,18 @@ class BPlusTree:
 
     def range_search(self, low: bytes, high: bytes) -> list[tuple[bytes, int]]:
         results: list[tuple[bytes, int]] = []
-        node = self._nodes[self._leaf_for(low)]
+        node = self.node(self._leaf_for(low))
+        seen: set[int] = set()
         while True:
+            if node.node_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle in leaf chain at node {node.node_id}"
+                )
+            seen.add(node.node_id)
+            if not node.is_leaf:
+                raise IndexCorruptionError(
+                    f"leaf chain reached inner node {node.node_id}"
+                )
             self._observe(node.node_id)
             for slot in range(len(node.entries)):
                 key, table_row = self._decode_slot_query(node, slot)
@@ -449,12 +474,22 @@ class BPlusTree:
                     results.append((key, table_row))
             if node.next_leaf == NO_REF:
                 return results
-            node = self._nodes[node.next_leaf]
+            node = self.node(node.next_leaf)
 
     def items(self) -> list[tuple[bytes, int]]:
         out: list[tuple[bytes, int]] = []
-        node = self._nodes[self._leftmost_leaf()]
+        node = self.node(self._leftmost_leaf())
+        seen: set[int] = set()
         while True:
+            if node.node_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle in leaf chain at node {node.node_id}"
+                )
+            seen.add(node.node_id)
+            if not node.is_leaf:
+                raise IndexCorruptionError(
+                    f"leaf chain reached inner node {node.node_id}"
+                )
             for slot in range(len(node.entries)):
                 key, table_row = self._decode_slot(node, slot)
                 if table_row is None:
@@ -462,7 +497,7 @@ class BPlusTree:
                 out.append((key, table_row))
             if node.next_leaf == NO_REF:
                 return out
-            node = self._nodes[node.next_leaf]
+            node = self.node(node.next_leaf)
 
     def verify_all(self) -> None:
         """Decode (verify) every entry in every node."""
@@ -502,7 +537,17 @@ class BPlusTree:
         self.node(node_id).entries[slot].payload = bytes(payload)
 
     def _leftmost_leaf(self) -> int:
-        node = self._nodes[self._root]
+        node = self.node(self._root)
+        seen: set[int] = set()
         while not node.is_leaf:
-            node = self._nodes[node.children[0]]
+            if node.node_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle through inner node {node.node_id}"
+                )
+            seen.add(node.node_id)
+            if not node.children:
+                raise IndexCorruptionError(
+                    f"inner node {node.node_id} has no children"
+                )
+            node = self.node(node.children[0])
         return node.node_id

@@ -62,12 +62,19 @@ IndexCodecFactory = Callable[[int, int, int], IndexEntryCodec]
 
 @dataclass
 class IndexInfo:
-    """Registry record of one secondary index."""
+    """Registry record of one secondary index.
+
+    ``quarantined`` marks an index the recovery loader could not verify
+    (see :mod:`repro.robustness.recovery`); a quarantined index is
+    skipped by query planning and maintenance until rebuilt, so queries
+    degrade to a verified full scan instead of reading tampered entries.
+    """
 
     name: str
     table: str
     column: str
     structure: IndexTable | BPlusTree
+    quarantined: bool = False
 
 
 class Database:
@@ -157,7 +164,41 @@ class Database:
         return sorted(self._indexes)
 
     def indexes_on(self, table_name: str, column_name: str) -> list[IndexInfo]:
-        return list(self._indexes_by_column.get((table_name, column_name), []))
+        """Usable (non-quarantined) indexes over one column."""
+        return [
+            info
+            for info in self._indexes_by_column.get((table_name, column_name), [])
+            if not info.quarantined
+        ]
+
+    def quarantined_indexes_on(
+        self, table_name: str, column_name: str
+    ) -> list[IndexInfo]:
+        """Indexes over one column that are present but quarantined."""
+        return [
+            info
+            for info in self._indexes_by_column.get((table_name, column_name), [])
+            if info.quarantined
+        ]
+
+    def quarantine_index(self, name: str) -> IndexInfo:
+        """Mark an index untrustworthy; queries fall back to verified scans.
+
+        Used by the resilient loader when an index fails verification and
+        cannot (or should not) be rebuilt in place.
+        """
+        info = self.index(name)
+        info.quarantined = True
+        return info
+
+    def replace_index_structure(
+        self, name: str, structure: IndexTable | BPlusTree
+    ) -> IndexInfo:
+        """Swap in a rebuilt structure and lift the quarantine."""
+        info = self.index(name)
+        info.structure = structure
+        info.quarantined = False
+        return info
 
     # -- data manipulation -----------------------------------------------------
 
@@ -330,7 +371,10 @@ class Database:
     # -- internals ---------------------------------------------------------------
 
     def _table_indexes(self, table_name: str) -> list[IndexInfo]:
-        return [info for info in self._indexes.values() if info.table == table_name]
+        return [
+            info for info in self._indexes.values()
+            if info.table == table_name and not info.quarantined
+        ]
 
     def _stored_form(
         self, table: Table, column_pos: int, plain: bytes, address: CellAddress

@@ -196,10 +196,16 @@ class IndexTable:
         """Tombstone the leaf holding (key, table_row); True if found."""
         if self._root == NO_REF:
             return False
-        current = self._rows[self._root]
+        current = self._row(self._root)
+        seen: set[int] = set()
         while not current.is_leaf:
+            if current.row_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle through inner row {current.row_id}"
+                )
+            seen.add(current.row_id)
             sep_key, _ = self._decode(current)
-            current = self._rows[current.left if key <= sep_key else current.right]
+            current = self._row(current.left if key <= sep_key else current.right)
         for leaf in self._iter_leaves_from(current.row_id):
             if leaf.deleted:
                 continue
@@ -236,11 +242,17 @@ class IndexTable:
         """
         if self._root == NO_REF:
             return []
-        current = self._rows[self._root]
+        current = self._row(self._root)
+        seen: set[int] = set()
         while not current.is_leaf:
+            if current.row_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle through inner row {current.row_id}"
+                )
+            seen.add(current.row_id)
             self._observe(current.row_id)
             sep_key, _ = self._decode_query(current, at_leaf=False)
-            current = self._rows[current.left if low <= sep_key else current.right]
+            current = self._row(current.left if low <= sep_key else current.right)
 
         results: list[tuple[bytes, int]] = []
         for leaf in self._iter_leaves_from(current.row_id):
@@ -344,14 +356,26 @@ class IndexTable:
     def _leftmost_leaf(self) -> int:
         if self._root == NO_REF:
             return NO_REF
-        current = self._rows[self._root]
+        current = self._row(self._root)
+        seen: set[int] = set()
         while not current.is_leaf:
-            current = self._rows[current.left]
+            if current.row_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle through inner row {current.row_id}"
+                )
+            seen.add(current.row_id)
+            current = self._row(current.left)
         return current.row_id
 
     def _iter_leaves_from(self, row_id: int) -> Iterator[IndexRow]:
+        seen: set[int] = set()
         while row_id != NO_REF:
-            row = self._rows[row_id]
+            if row_id in seen:
+                raise IndexCorruptionError(
+                    f"cycle in leaf chain at row {row_id}"
+                )
+            seen.add(row_id)
+            row = self._row(row_id)
             if not row.is_leaf:
                 raise IndexCorruptionError(
                     f"leaf chain reached non-leaf row {row_id}"

@@ -18,11 +18,26 @@ from repro.engine.database import Database
 from repro.errors import CryptoError, EngineError
 
 
+#: Issue kinds shared by :class:`IntegrityReport` and the recovery
+#: loader's :class:`~repro.robustness.recovery.RecoveryReport`, so the
+#: eager audit and the resilient restore speak one vocabulary.
+ISSUE_KINDS = (
+    "cell",               # a cell failed cryptographic verification
+    "index-entry",        # an index entry failed verification / decode
+    "index-structural",   # an index invariant broke (cycle, dangling ref)
+    "index-order",        # leaf chain out of key order (footnote 1)
+    "index-mismatch",     # index contents disagree with the table
+    "index-quarantined",  # index already quarantined by recovery
+    "record-structural",  # a stored record could not even be framed
+    "image-structural",   # the image itself is mis-framed / truncated
+)
+
+
 @dataclass
 class IntegrityIssue:
-    """One detected problem."""
+    """One detected problem (kind is one of :data:`ISSUE_KINDS`)."""
 
-    kind: str        # "cell", "index-entry", "index-mismatch"
+    kind: str        # see ISSUE_KINDS
     location: str    # human-readable position
     detail: str
 
@@ -84,17 +99,34 @@ def _verify_cells(db: Database, report: IntegrityReport) -> None:
 def _verify_indexes(db: Database, report: IntegrityReport) -> None:
     for index_name in db.index_names:
         info = db.index(index_name)
+        if info.quarantined:
+            # Recovery already pulled this index from service; record it
+            # rather than re-deriving issues from a known-bad structure.
+            report.issues.append(IntegrityIssue(
+                "index-quarantined", index_name,
+                "index is quarantined pending rebuild",
+            ))
+            continue
         table = db.table(info.table)
         column_pos = table.schema.column_index(info.column)
 
-        # 1. Every entry must decode (authenticity sweep).
+        # 1. Every entry must decode (authenticity sweep).  Crypto
+        #    failures and structural failures (dangling or cyclic
+        #    references, mis-framed payloads) are distinct issue kinds so
+        #    downstream consumers (the fault campaign's detection matrix)
+        #    can attribute the detection to the right mechanism.
         try:
             info.structure.verify_all()
-        except (CryptoError, EngineError) as exc:
+        except CryptoError as exc:
             report.issues.append(IntegrityIssue(
                 "index-entry", index_name, str(exc)
             ))
             # The structure is untrustworthy; skip the cross-check.
+            continue
+        except EngineError as exc:
+            report.issues.append(IntegrityIssue(
+                "index-structural", index_name, str(exc)
+            ))
             continue
 
         # 2. The leaf chain must be key-ordered (a payload swap preserves
@@ -102,9 +134,14 @@ def _verify_indexes(db: Database, report: IntegrityReport) -> None:
         try:
             chain_pairs = info.structure.items()
             report.index_entries_checked += len(chain_pairs)
-        except (CryptoError, EngineError) as exc:
+        except CryptoError as exc:
             report.issues.append(IntegrityIssue(
                 "index-entry", index_name, f"enumeration failed: {exc}"
+            ))
+            continue
+        except EngineError as exc:
+            report.issues.append(IntegrityIssue(
+                "index-structural", index_name, f"enumeration failed: {exc}"
             ))
             continue
         chain_keys = [key for key, _ in chain_pairs]

@@ -19,10 +19,18 @@ from repro.engine.database import Database
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Rows matching a query, plus how they were found."""
+    """Rows matching a query, plus how they were found.
+
+    ``degraded`` is True when an index exists on the queried column but
+    is quarantined (failed verification after a restore from untrusted
+    storage), so the engine answered from a verified full scan instead.
+    The answer is still correct and authenticated — only the access path
+    changed.
+    """
 
     rows: tuple[tuple[int, tuple[Any, ...]], ...]
     used_index: bool
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -45,12 +53,26 @@ class Query(ABC):
 
 
 def _freeze(
-    rows: Sequence[tuple[int, Sequence[Any]]], used_index: bool
+    rows: Sequence[tuple[int, Sequence[Any]]],
+    used_index: bool,
+    degraded: bool = False,
 ) -> QueryResult:
     return QueryResult(
         rows=tuple((row_id, tuple(values)) for row_id, values in rows),
         used_index=used_index,
+        degraded=degraded,
     )
+
+
+def _access_path(db: Database, table: str, column: str) -> tuple[bool, bool]:
+    """(used_index, degraded) for a single-column predicate.
+
+    A quarantined index no longer counts as usable, so the engine scans;
+    ``degraded`` records that the scan is a fallback, not the plan.
+    """
+    used_index = bool(db.indexes_on(table, column))
+    degraded = not used_index and bool(db.quarantined_indexes_on(table, column))
+    return used_index, degraded
 
 
 @dataclass(frozen=True)
@@ -62,9 +84,9 @@ class PointQuery(Query):
     value: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index = bool(db.indexes_on(self.table, self.column))
+        used_index, degraded = _access_path(db, self.table, self.column)
         rows = db.select_equals(self.table, self.column, self.value)
-        return _freeze(rows, used_index)
+        return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -77,9 +99,9 @@ class RangeQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index = bool(db.indexes_on(self.table, self.column))
+        used_index, degraded = _access_path(db, self.table, self.column)
         rows = db.select_range(self.table, self.column, self.low, self.high)
-        return _freeze(rows, used_index)
+        return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -91,9 +113,9 @@ class PrefixQuery(Query):
     prefix: str
 
     def execute(self, db: Database) -> QueryResult:
-        used_index = bool(db.indexes_on(self.table, self.column))
+        used_index, degraded = _access_path(db, self.table, self.column)
         rows = db.select_prefix(self.table, self.column, self.prefix)
-        return _freeze(rows, used_index)
+        return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -105,9 +127,9 @@ class AtLeastQuery(Query):
     low: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index = bool(db.indexes_on(self.table, self.column))
+        used_index, degraded = _access_path(db, self.table, self.column)
         rows = db.select_at_least(self.table, self.column, self.low)
-        return _freeze(rows, used_index)
+        return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -119,9 +141,9 @@ class AtMostQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index = bool(db.indexes_on(self.table, self.column))
+        used_index, degraded = _access_path(db, self.table, self.column)
         rows = db.select_at_most(self.table, self.column, self.high)
-        return _freeze(rows, used_index)
+        return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)

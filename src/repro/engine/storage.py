@@ -21,6 +21,7 @@ from repro.engine.btree import BEntry, BNode, BPlusTree
 from repro.engine.database import Database, IndexCodecFactory, CellCodec
 from repro.engine.indextable import IndexRow, IndexTable
 from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import StorageFormatError
 
 _MAGIC = b"REPRODB1"
 
@@ -39,31 +40,89 @@ def _write_text(out: io.BytesIO, text: str) -> None:
 
 
 class _Reader:
+    """Cursor over a storage image.
+
+    Every framing failure — truncation, undecodable text, a bad tag —
+    raises :class:`~repro.errors.StorageFormatError` carrying the offset
+    at which parsing stopped, so that an adversarially modified image
+    can never leak a raw ``struct.error`` to callers.
+    """
+
     def __init__(self, data: bytes) -> None:
         self._view = memoryview(data)
         self._offset = 0
 
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._view) - self._offset
+
     def read_bytes(self) -> bytes:
+        if self.remaining < 4:
+            raise StorageFormatError(
+                "truncated storage image: length prefix cut short",
+                offset=self._offset,
+            )
         (length,) = struct.unpack_from(">I", self._view, self._offset)
         self._offset += 4
         data = bytes(self._view[self._offset:self._offset + length])
         if len(data) != length:
-            raise ValueError("truncated storage image")
+            raise StorageFormatError(
+                f"truncated storage image: {length} payload bytes declared, "
+                f"{len(data)} present",
+                offset=self._offset,
+            )
         self._offset += length
         return data
 
     def read_int(self) -> int:
+        if self.remaining < 8:
+            raise StorageFormatError(
+                "truncated storage image: integer field cut short",
+                offset=self._offset,
+            )
         (value,) = struct.unpack_from(">q", self._view, self._offset)
         self._offset += 8
         return value
 
+    def read_count(self, what: str) -> int:
+        """An element count: like :meth:`read_int` but sanity-bounded.
+
+        A flipped bit in a count field must not send the loader into a
+        near-endless loop or make it fabricate elements, so counts are
+        rejected unless the remaining image could plausibly hold that
+        many elements (every element occupies at least one byte).
+        """
+        at = self._offset
+        value = self.read_int()
+        if value < 0 or value > self.remaining:
+            raise StorageFormatError(
+                f"implausible {what} count {value} "
+                f"with {self.remaining} bytes remaining",
+                offset=at,
+            )
+        return value
+
     def read_text(self) -> str:
-        return self.read_bytes().decode("utf-8")
+        at = self._offset
+        data = self.read_bytes()
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError:
+            raise StorageFormatError(
+                "undecodable text field in storage image", offset=at
+            ) from None
 
     def expect(self, tag: bytes) -> None:
         got = bytes(self._view[self._offset:self._offset + len(tag)])
         if got != tag:
-            raise ValueError(f"bad storage image: expected {tag!r}, got {got!r}")
+            raise StorageFormatError(
+                f"bad storage image: expected {tag!r}, got {got!r}",
+                offset=self._offset,
+            )
         self._offset += len(tag)
 
 
@@ -157,49 +216,81 @@ def load_database(
     reader.expect(_MAGIC)
     db = Database(cell_codec=cell_codec, index_codec_factory=index_codec_factory)
 
-    table_count = reader.read_int()
+    table_count = reader.read_count("table")
     for _ in range(table_count):
-        name = reader.read_text()
-        table_id = reader.read_int()
-        column_count = reader.read_int()
-        columns = []
-        for _ in range(column_count):
-            column_name = reader.read_text()
-            column_type = ColumnType(reader.read_text())
-            sensitive = reader.read_int() == 1
-            columns.append(Column(column_name, column_type, sensitive))
-        table = db.create_table(TableSchema(name, columns))
-        table.table_id = table_id
-        next_row = reader.read_int()
-        row_count = reader.read_int()
-        for _ in range(row_count):
-            row_id = reader.read_int()
-            cells = [reader.read_bytes() for _ in range(column_count)]
-            table._rows[row_id] = cells
-        table._next_row = next_row
+        _load_table(reader, db)
     db._next_table_id = max(
         (db.table(name).table_id for name in db.table_names), default=0
     ) + 1
 
-    index_count = reader.read_int()
+    index_count = reader.read_count("index")
     for _ in range(index_count):
-        name = reader.read_text()
-        table_name = reader.read_text()
-        column_name = reader.read_text()
-        kind = reader.read_text()
-        table = db.table(table_name)
-        column_pos = table.schema.column_index(column_name)
-        if kind == "table":
-            structure = _load_index_table(reader, db, table.table_id, column_pos)
-        else:
-            structure = _load_btree(reader, db, table.table_id, column_pos)
-        from repro.engine.database import IndexInfo
-
-        info = IndexInfo(name, table_name, column_name, structure)
-        db._indexes[name] = info
-        db._indexes_by_column.setdefault((table_name, column_name), []).append(info)
-        db._next_table_id = max(db._next_table_id, structure.index_table_id + 1)
+        _load_index(reader, db)
+    if reader.remaining:
+        raise StorageFormatError(
+            f"{reader.remaining} trailing byte(s) after the last index record",
+            offset=reader.offset,
+        )
     return db
+
+
+def _load_table(reader: _Reader, db: Database):
+    name = reader.read_text()
+    table_id = reader.read_int()
+    column_count = reader.read_count("column")
+    columns = []
+    for _ in range(column_count):
+        column_name = reader.read_text()
+        type_name = reader.read_text()
+        try:
+            column_type = ColumnType(type_name)
+        except ValueError:
+            raise StorageFormatError(
+                f"unknown column type {type_name!r}", offset=reader.offset
+            ) from None
+        sensitive = reader.read_int() == 1
+        columns.append(Column(column_name, column_type, sensitive))
+    table = db.create_table(TableSchema(name, columns))
+    table.table_id = table_id
+    next_row = reader.read_int()
+    row_count = reader.read_count("row")
+    for _ in range(row_count):
+        at = reader.offset
+        row_id = reader.read_int()
+        cells = [reader.read_bytes() for _ in range(column_count)]
+        if row_id in table._rows:
+            # A replayed (duplicated) record: ids are allocated once and
+            # never reused, so a second occurrence is always corruption.
+            raise StorageFormatError(
+                f"duplicate row {row_id} in table {name!r}", offset=at
+            )
+        table._rows[row_id] = cells
+    table._next_row = next_row
+    return table
+
+
+def _load_index(reader: _Reader, db: Database):
+    name = reader.read_text()
+    table_name = reader.read_text()
+    column_name = reader.read_text()
+    kind = reader.read_text()
+    if kind not in ("table", "btree"):
+        raise StorageFormatError(
+            f"unknown index kind {kind!r}", offset=reader.offset
+        )
+    table = db.table(table_name)
+    column_pos = table.schema.column_index(column_name)
+    if kind == "table":
+        structure = _load_index_table(reader, db, table.table_id, column_pos)
+    else:
+        structure = _load_btree(reader, db, table.table_id, column_pos)
+    from repro.engine.database import IndexInfo
+
+    info = IndexInfo(name, table_name, column_name, structure)
+    db._indexes[name] = info
+    db._indexes_by_column.setdefault((table_name, column_name), []).append(info)
+    db._next_table_id = max(db._next_table_id, structure.index_table_id + 1)
+    return info
 
 
 def _load_index_table(
@@ -210,8 +301,9 @@ def _load_index_table(
     index = IndexTable(index_table_id, codec)
     index._root = reader.read_int()
     next_row = reader.read_int()
-    row_count = reader.read_int()
+    row_count = reader.read_count("index row")
     for _ in range(row_count):
+        at = reader.offset
         row = IndexRow(
             row_id=reader.read_int(),
             is_leaf=reader.read_int() == 1,
@@ -222,6 +314,10 @@ def _load_index_table(
         row.sibling = reader.read_int()
         row.deleted = reader.read_int() == 1
         row.payload = reader.read_bytes()
+        if row.row_id in index._rows:
+            raise StorageFormatError(
+                f"duplicate index row {row.row_id}", offset=at
+            )
         index._rows[row.row_id] = row
     index._next_row = next_row
     return index
@@ -238,16 +334,21 @@ def _load_btree(
     tree._root = reader.read_int()
     tree._next_node = reader.read_int()
     tree._next_entry_row = reader.read_int()
-    node_count = reader.read_int()
+    node_count = reader.read_count("node")
     for _ in range(node_count):
+        at = reader.offset
         node = BNode(node_id=reader.read_int(), is_leaf=reader.read_int() == 1)
         node.next_leaf = reader.read_int()
-        child_count = reader.read_int()
+        child_count = reader.read_count("child")
         node.children = [reader.read_int() for _ in range(child_count)]
-        entry_count = reader.read_int()
+        entry_count = reader.read_count("entry")
         node.entries = [
             BEntry(reader.read_int(), reader.read_bytes())
             for _ in range(entry_count)
         ]
+        if node.node_id in tree._nodes:
+            raise StorageFormatError(
+                f"duplicate tree node {node.node_id}", offset=at
+            )
         tree._nodes[node.node_id] = node
     return tree

@@ -57,6 +57,23 @@ class SchemaError(EngineError):
     """A table schema was violated (unknown column, type mismatch, ...)."""
 
 
+class StorageFormatError(EngineError, ValueError):
+    """A storage image is structurally malformed (truncated, mis-framed,
+    bad magic, trailing garbage, ...).
+
+    Raised by the storage loaders whenever the *framing* of an image —
+    as opposed to its cryptographic content — cannot be parsed.  Also a
+    :class:`ValueError` for backwards compatibility with callers that
+    predate this class.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
 class NoSuchTableError(EngineError):
     """A referenced table does not exist in the database."""
 

@@ -1,0 +1,411 @@
+"""Deterministic, seed-driven fault injection over storage images.
+
+The storage image (:mod:`repro.engine.storage`) is exactly what the
+paper's adversary holds: "anyone with physical access to the machine or
+storage system holding the actual data can copy or modify it" (Sect. 1).
+A :class:`FaultSpec` is one such modification, reduced to pure byte
+surgery so that replaying the same spec on the same base image always
+yields the same corrupted image.
+
+Fault taxonomy (``FAULT_KINDS``):
+
+``bitflip`` / ``multi-bitflip``
+    One or several single-bit flips anywhere in the image — the classic
+    "rowhammer / cosmic ray / malicious DMA" model.
+``block-corrupt``
+    Cipher-block-aligned corruption *inside one stored payload*: a whole
+    16-octet block is overwritten with unrelated bytes.  Against CBC
+    this is the surgical version of the §3.1 forgery — error propagation
+    is local, so blocks far from the address checksum change plaintext
+    without touching the redundancy.
+``truncate``
+    The image is cut short — a torn upload, a partial copy, a disk that
+    died mid-write.
+``record-delete`` / ``record-duplicate``
+    One whole stored record (a table row or an index row/node) vanishes
+    or appears twice; the enclosing count field is patched so the image
+    still frames correctly.  This models targeted suppression / replay
+    of individual rows.
+``pointer-scramble``
+    One structural reference (root, child, sibling, next-leaf) is
+    overwritten.  Structure is plaintext in every scheme the paper
+    analyses, so the adversary can always do this.
+``payload-swap``
+    Two stored payloads of the same kind trade places — the footnote-1
+    attack: each payload remains individually well-formed, only its
+    *position* lies.
+
+Faults are *planned* against an :class:`ImageMap` (the byte layout of a
+well-formed image) and *applied* as position-based edits, so a spec is
+meaningful on the image it was planned for and replayable forever.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+
+from repro.engine.storage import _MAGIC, _Reader
+
+#: Cipher block size assumed by block-aligned faults (AES; the paper's
+#: legacy schemes optionally run DES, whose 8-octet blocks are covered
+#: because 16 is a multiple of 8).
+BLOCK = 16
+
+FAULT_KINDS = (
+    "bitflip",
+    "multi-bitflip",
+    "block-corrupt",
+    "truncate",
+    "record-delete",
+    "record-duplicate",
+    "pointer-scramble",
+    "payload-swap",
+)
+
+
+# ---------------------------------------------------------------------------
+# Image cartography
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PayloadSpan:
+    """One stored payload: where its bytes live inside the image.
+
+    ``start``/``end`` delimit the payload proper; the 4-octet length
+    prefix sits at ``start - 4``.  ``where`` is a human-readable
+    position ("t(r=3,c=1)" or "idx:name[7]"), ``group`` names the
+    payload population it may be swapped within.
+    """
+
+    where: str
+    group: str
+    start: int
+    end: int
+
+    @property
+    def prefix_start(self) -> int:
+        return self.start - 4
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RecordSpan:
+    """One whole variable-length record plus the count field framing it."""
+
+    where: str
+    start: int
+    end: int
+    count_offset: int  # offset of the 8-octet count governing this record
+
+
+@dataclass
+class ImageMap:
+    """Byte cartography of one well-formed storage image."""
+
+    size: int
+    payloads: list[PayloadSpan] = field(default_factory=list)
+    records: list[RecordSpan] = field(default_factory=list)
+    #: (offset, current value) of every 8-octet structural reference.
+    pointers: list[tuple[int, int]] = field(default_factory=list)
+
+
+def map_image(image: bytes) -> ImageMap:
+    """Chart a well-formed image (raises on malformed input).
+
+    The walk mirrors :func:`repro.engine.storage.load_database` record
+    for record; it must be kept in sync with the dump format.
+    """
+    reader = _Reader(image)
+    reader.expect(_MAGIC)
+    chart = ImageMap(size=len(image))
+
+    table_count = reader.read_count("table")
+    for _ in range(table_count):
+        name = reader.read_text()
+        reader.read_int()  # table_id
+        column_count = reader.read_count("column")
+        for _ in range(column_count):
+            reader.read_text()  # column name
+            reader.read_text()  # column type
+            reader.read_int()   # sensitive flag
+        reader.read_int()  # next_row
+        row_count_at = reader.offset
+        row_count = reader.read_count("row")
+        for _ in range(row_count):
+            record_start = reader.offset
+            row_id = reader.read_int()
+            for column in range(column_count):
+                payload_at = reader.offset + 4
+                data = reader.read_bytes()
+                chart.payloads.append(PayloadSpan(
+                    where=f"{name}(r={row_id},c={column})",
+                    group=f"cell:{name}:{column}",
+                    start=payload_at,
+                    end=payload_at + len(data),
+                ))
+            chart.records.append(RecordSpan(
+                where=f"{name}(r={row_id})",
+                start=record_start,
+                end=reader.offset,
+                count_offset=row_count_at,
+            ))
+
+    index_count = reader.read_count("index")
+    for _ in range(index_count):
+        name = reader.read_text()
+        reader.read_text()  # table name
+        reader.read_text()  # column name
+        kind = reader.read_text()
+        if kind == "table":
+            _map_index_table(reader, chart, name)
+        else:
+            _map_btree(reader, chart, name)
+    return chart
+
+
+def _map_index_table(reader: _Reader, chart: ImageMap, name: str) -> None:
+    reader.read_int()                    # index_table_id
+    chart.pointers.append((reader.offset, reader.read_int()))  # root_id
+    reader.read_int()                    # next_row
+    row_count_at = reader.offset
+    row_count = reader.read_count("index row")
+    for _ in range(row_count):
+        record_start = reader.offset
+        row_id = reader.read_int()
+        reader.read_int()  # is_leaf
+        for _ in range(3):  # left, right, sibling
+            chart.pointers.append((reader.offset, reader.read_int()))
+        reader.read_int()  # deleted
+        payload_at = reader.offset + 4
+        data = reader.read_bytes()
+        chart.payloads.append(PayloadSpan(
+            where=f"idx:{name}[{row_id}]",
+            group=f"index:{name}",
+            start=payload_at,
+            end=payload_at + len(data),
+        ))
+        chart.records.append(RecordSpan(
+            where=f"idx:{name}[{row_id}]",
+            start=record_start,
+            end=reader.offset,
+            count_offset=row_count_at,
+        ))
+
+
+def _map_btree(reader: _Reader, chart: ImageMap, name: str) -> None:
+    reader.read_int()                    # index_table_id
+    reader.read_int()                    # order
+    chart.pointers.append((reader.offset, reader.read_int()))  # root_id
+    reader.read_int()                    # next_node
+    reader.read_int()                    # next_entry_row
+    node_count_at = reader.offset
+    node_count = reader.read_count("node")
+    for _ in range(node_count):
+        record_start = reader.offset
+        node_id = reader.read_int()
+        reader.read_int()  # is_leaf
+        chart.pointers.append((reader.offset, reader.read_int()))  # next_leaf
+        child_count = reader.read_count("child")
+        for _ in range(child_count):
+            chart.pointers.append((reader.offset, reader.read_int()))
+        entry_count = reader.read_count("entry")
+        for slot in range(entry_count):
+            reader.read_int()  # entry row id
+            payload_at = reader.offset + 4
+            data = reader.read_bytes()
+            chart.payloads.append(PayloadSpan(
+                where=f"idx:{name}[n{node_id}.{slot}]",
+                group=f"index:{name}",
+                start=payload_at,
+                end=payload_at + len(data),
+            ))
+        chart.records.append(RecordSpan(
+            where=f"idx:{name}[n{node_id}]",
+            start=record_start,
+            end=reader.offset,
+            count_offset=node_count_at,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Fault specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named, replayable storage fault.
+
+    ``params`` is a flat tuple of ints whose meaning depends on ``kind``
+    (documented per kind in :meth:`apply`); ``target`` is the
+    human-readable location the planner aimed at, kept for reporting
+    only — application is purely positional.
+    """
+
+    kind: str
+    seed: int
+    params: tuple[int, ...]
+    target: str = ""
+
+    @property
+    def name(self) -> str:
+        spec = ",".join(str(p) for p in self.params)
+        label = f"{self.kind}#{self.seed}({spec})"
+        return f"{label}@{self.target}" if self.target else label
+
+    def apply(self, image: bytes) -> bytes:
+        """Return the corrupted image (the input is never modified)."""
+        data = bytearray(image)
+        kind, params = self.kind, self.params
+        if kind == "bitflip":                      # (offset, bit)
+            offset, bit = params
+            data[offset] ^= 1 << bit
+        elif kind == "multi-bitflip":              # (off, bit, off, bit, ...)
+            for i in range(0, len(params), 2):
+                data[params[i]] ^= 1 << params[i + 1]
+        elif kind == "block-corrupt":              # (offset, length, pad_seed)
+            offset, length, pad_seed = params
+            junk = random.Random(pad_seed).randbytes(length)
+            data[offset:offset + length] = junk
+        elif kind == "truncate":                   # (keep,)
+            (keep,) = params
+            del data[keep:]
+        elif kind == "record-delete":              # (start, end, count_offset)
+            start, end, count_offset = params
+            del data[start:end]
+            _bump_count(data, count_offset, -1)
+        elif kind == "record-duplicate":           # (start, end, count_offset)
+            start, end, count_offset = params
+            data[end:end] = data[start:end]
+            _bump_count(data, count_offset, +1)
+        elif kind == "pointer-scramble":           # (offset, new_value)
+            offset, value = params
+            data[offset:offset + 8] = struct.pack(">q", value)
+        elif kind == "payload-swap":               # (a_start, a_end, b_start, b_end)
+            a_start, a_end, b_start, b_end = params
+            a, b = data[a_start:a_end], data[b_start:b_end]
+            data = (
+                data[:a_start] + b + data[a_end:b_start] + a + data[b_end:]
+            )
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        return bytes(data)
+
+
+def _bump_count(data: bytearray, offset: int, delta: int) -> None:
+    (value,) = struct.unpack_from(">q", data, offset)
+    struct.pack_into(">q", data, offset, value + delta)
+
+
+# ---------------------------------------------------------------------------
+# Fault planning
+# ---------------------------------------------------------------------------
+
+def plan_fault(chart: ImageMap, seed: int) -> FaultSpec:
+    """Deterministically derive one fault from a seed and an image map.
+
+    The same (chart, seed) pair always yields the same spec; distinct
+    seeds walk the whole taxonomy with a bias towards the bit-level
+    faults an unreliable medium produces on its own.
+    """
+    # str seeding is process-independent (unlike tuple hashing).
+    rng = random.Random(f"fault-{seed}-{chart.size}")
+    weights = {
+        "bitflip": 5,
+        "multi-bitflip": 2,
+        "block-corrupt": 4,
+        "truncate": 2,
+        "record-delete": 2,
+        "record-duplicate": 2,
+        "pointer-scramble": 3,
+        "payload-swap": 3,
+    }
+    if 0 <= seed < len(FAULT_KINDS):
+        # The first |FAULT_KINDS| seeds walk the taxonomy in order, so
+        # every campaign of at least eight faults exercises every kind
+        # (and even a five-fault smoke run reaches block corruption).
+        kind = FAULT_KINDS[seed]
+    else:
+        kinds = list(weights)
+        kind = rng.choices(kinds, weights=[weights[k] for k in kinds], k=1)[0]
+
+    if kind == "bitflip":
+        offset = rng.randrange(chart.size)
+        return FaultSpec(kind, seed, (offset, rng.randrange(8)))
+
+    if kind == "multi-bitflip":
+        flips: list[int] = []
+        for _ in range(rng.randint(2, 6)):
+            flips += [rng.randrange(chart.size), rng.randrange(8)]
+        return FaultSpec(kind, seed, tuple(flips))
+
+    if kind == "block-corrupt":
+        # Aim at a payload long enough to hold at least one whole cipher
+        # block, and corrupt a block-aligned stretch away from the tail —
+        # the placement §3.1 exploits against CBC's local propagation.
+        # The forgery needs runway before the address checksum, so prefer
+        # the longest stored *cell* payloads when any exist.
+        long_enough = [p for p in chart.payloads if len(p) >= BLOCK]
+        if not long_enough:
+            offset = rng.randrange(max(1, chart.size - BLOCK))
+            return FaultSpec(kind, seed, (offset, BLOCK, seed))
+        cells = [p for p in long_enough if p.group.startswith("cell:")]
+        pool = cells if cells else long_enough
+        longest = max(len(p) // BLOCK for p in pool)
+        pool = [p for p in pool if len(p) // BLOCK == longest]
+        span = rng.choice(pool)
+        blocks = len(span) // BLOCK
+        block = rng.randrange(max(1, blocks - 2))
+        offset = span.start + block * BLOCK
+        return FaultSpec(kind, seed, (offset, BLOCK, seed), target=span.where)
+
+    if kind == "truncate":
+        return FaultSpec(kind, seed, (rng.randrange(chart.size),))
+
+    if kind in ("record-delete", "record-duplicate"):
+        if not chart.records:
+            return FaultSpec("truncate", seed, (rng.randrange(chart.size),))
+        record = rng.choice(chart.records)
+        return FaultSpec(
+            kind, seed,
+            (record.start, record.end, record.count_offset),
+            target=record.where,
+        )
+
+    if kind == "pointer-scramble":
+        if not chart.pointers:
+            return FaultSpec("bitflip", seed, (rng.randrange(chart.size), 0))
+        offset, current = rng.choice(chart.pointers)
+        candidates = [-1, 0, 1, rng.randrange(0, 64), rng.randrange(0, 64)]
+        fresh = [c for c in candidates if c != current]
+        value = rng.choice(fresh) if fresh else current + 1
+        return FaultSpec(kind, seed, (offset, value))
+
+    # payload-swap: two distinct payloads from the same population, in
+    # image order so apply()'s splice arithmetic holds.
+    groups: dict[str, list[PayloadSpan]] = {}
+    for span in chart.payloads:
+        groups.setdefault(span.group, []).append(span)
+    swappable = [spans for spans in groups.values() if len(spans) >= 2]
+    if not swappable:
+        return FaultSpec("bitflip", seed, (rng.randrange(chart.size), 0))
+    spans = rng.choice(swappable)
+    a, b = rng.sample(spans, 2)
+    if a.start > b.start:
+        a, b = b, a
+    # Swap including the length prefixes, so differently-sized payloads
+    # still frame correctly — the lie is positional, not structural.
+    return FaultSpec(
+        "payload-swap", seed,
+        (a.prefix_start, a.end, b.prefix_start, b.end),
+        target=f"{a.where}<->{b.where}",
+    )
+
+
+def plan_faults(image: bytes, seeds: int, first_seed: int = 0) -> list[FaultSpec]:
+    """Chart ``image`` once and plan ``seeds`` sequential faults."""
+    chart = map_image(image)
+    return [plan_fault(chart, first_seed + s) for s in range(seeds)]

@@ -7,7 +7,7 @@ from repro.engine.database import Database
 from repro.engine.query import PointQuery, RangeQuery
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.storage import dump_database, load_database
-from repro.errors import AuthenticationError
+from repro.errors import AuthenticationError, StorageFormatError
 
 SCHEMA = TableSchema(
     "t",
@@ -108,3 +108,107 @@ def test_tampered_image_detected_by_fixed_scheme():
 def test_corrupt_magic_rejected():
     with pytest.raises(ValueError):
         load_database(b"NOTADB__whatever")
+
+
+def test_corrupt_magic_raises_storage_format_error():
+    # The modern face of the same failure: an EngineError subclass that
+    # carries the offset where parsing stopped.
+    with pytest.raises(StorageFormatError) as excinfo:
+        load_database(b"NOTADB__whatever")
+    assert excinfo.value.offset == 0
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property and adversarial framing, across every scheme family
+# ---------------------------------------------------------------------------
+
+CONFIGS = [
+    ("plain", EncryptionConfig(cell_scheme="plain", index_scheme="plain")),
+    ("xor-sdm2004", EncryptionConfig(
+        cell_scheme="xor", index_scheme="sdm2004", iv_policy="zero")),
+    ("append-sdm2004", EncryptionConfig(
+        cell_scheme="append", index_scheme="sdm2004", iv_policy="zero")),
+    ("append-dbsec2005", EncryptionConfig(
+        cell_scheme="append", index_scheme="dbsec2005", iv_policy="zero")),
+    ("fixed-eax", EncryptionConfig.paper_fixed("eax")),
+    ("fixed-ocb", EncryptionConfig.paper_fixed("ocb")),
+]
+
+
+def populated_encrypted(config: EncryptionConfig) -> EncryptedDatabase:
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    for i in range(12):
+        db.insert("t", [i, f"value-{i:03d}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    db.create_index("t_v", "t", "v", kind="btree")
+    return db
+
+
+def reload(image: bytes, config: EncryptionConfig) -> Database:
+    keys = EncryptedDatabase(MASTER, config)
+    return load_database(
+        image,
+        cell_codec=keys.cell_codec,
+        index_codec_factory=keys._build_index_codec,
+    )
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_dump_load_dump_is_identity(label, config):
+    # The round-trip property: serialisation is a fixed point after one
+    # load, for every scheme family the paper analyses.
+    image = dump_database(populated_encrypted(config))
+    assert dump_database(reload(image, config)) == image
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_truncation_never_leaks_struct_error(label, config):
+    # Cutting the image at *any* offset must yield StorageFormatError —
+    # never a raw struct.error or IndexError from the framing layer.
+    # Framing damage surfaces before any codec runs, so no keys needed.
+    image = dump_database(populated_encrypted(config))
+    for keep in range(len(image)):
+        with pytest.raises(StorageFormatError):
+            load_database(image[:keep])
+
+
+def test_trailing_garbage_rejected():
+    image = dump_database(populated_plain())
+    with pytest.raises(StorageFormatError) as excinfo:
+        load_database(image + b"\x00garbage")
+    assert "trailing" in str(excinfo.value)
+    assert excinfo.value.offset == len(image)
+
+
+def test_duplicate_row_record_rejected():
+    # Replay of a stored record: ids are allocated once, so a second
+    # occurrence of the same row id is always corruption.
+    db = Database()
+    db.create_table(SCHEMA)
+    db.insert("t", [1, "only"])
+    image = dump_database(db)
+    from repro.robustness.faults import map_image
+    record = map_image(image).records[0]
+    replayed = bytearray(image)
+    replayed[record.end:record.end] = image[record.start:record.end]
+    count_at = record.count_offset
+    import struct
+    (count,) = struct.unpack_from(">q", replayed, count_at)
+    struct.pack_into(">q", replayed, count_at, count + 1)
+    with pytest.raises(StorageFormatError) as excinfo:
+        load_database(bytes(replayed))
+    assert "duplicate row" in str(excinfo.value)
+
+
+def test_implausible_count_rejected():
+    # A flipped bit in a count field must not make the loader loop for
+    # terabytes; counts beyond the remaining bytes are rejected outright.
+    db = Database()
+    db.create_table(TableSchema("t", [Column("k", ColumnType.INT)]))
+    image = bytearray(dump_database(db))
+    # The index count is the final 8 octets of an index-free image.
+    image[-8:] = (2**40).to_bytes(8, "big")
+    with pytest.raises(StorageFormatError) as excinfo:
+        load_database(bytes(image))
+    assert "implausible" in str(excinfo.value)

@@ -1,0 +1,155 @@
+"""Fault injector: determinism, replayability, and byte-surgery semantics."""
+
+import struct
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import dump_database
+from repro.robustness.faults import (
+    BLOCK,
+    FAULT_KINDS,
+    FaultSpec,
+    map_image,
+    plan_fault,
+    plan_faults,
+)
+
+MASTER = b"faults-test-key-0123456789abcdef"
+
+SCHEMA = TableSchema("t", [
+    Column("k", ColumnType.INT),
+    Column("v", ColumnType.TEXT),
+])
+
+
+def build_image(config: EncryptionConfig | None = None) -> bytes:
+    if config is None:
+        config = EncryptionConfig.paper_fixed("eax")
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    for i in range(10):
+        db.insert("t", [i, f"value-{i:03d}-{'x' * 40}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    db.create_index("t_v", "t", "v", kind="btree")
+    return dump_database(db)
+
+
+def test_planning_is_deterministic():
+    image = build_image()
+    first = plan_faults(image, 20)
+    second = plan_faults(image, 20)
+    assert first == second
+
+
+def test_application_is_deterministic():
+    image = build_image()
+    for spec in plan_faults(image, 20):
+        assert spec.apply(image) == spec.apply(image)
+
+
+def test_apply_never_mutates_the_input():
+    image = build_image()
+    pristine = bytes(image)
+    for spec in plan_faults(image, 20):
+        spec.apply(image)
+    assert image == pristine
+
+
+def test_every_fault_changes_the_image():
+    image = build_image()
+    for spec in plan_faults(image, 20):
+        assert spec.apply(image) != image, spec.name
+
+
+def test_first_seeds_cover_the_whole_taxonomy():
+    # Seeds 0..7 walk FAULT_KINDS in order, so even small campaigns
+    # exercise every fault family (block corruption lands by seed 2).
+    image = build_image()
+    specs = plan_faults(image, len(FAULT_KINDS))
+    assert [s.kind for s in specs] == list(FAULT_KINDS)
+
+
+def test_map_image_charts_every_cell_payload():
+    image = build_image()
+    chart = map_image(image)
+    cell_spans = [p for p in chart.payloads if p.group.startswith("cell:")]
+    assert len(cell_spans) == 10 * 2  # 10 rows x 2 columns
+    for span in cell_spans:
+        assert 0 <= span.prefix_start < span.start <= span.end <= chart.size
+        # The length prefix in the image frames exactly this span.
+        (length,) = struct.unpack_from(">I", image, span.prefix_start)
+        assert length == len(span)
+
+
+def test_record_duplicate_patches_the_count_field():
+    image = build_image()
+    chart = map_image(image)
+    record = chart.records[0]
+    spec = FaultSpec(
+        "record-duplicate", 0,
+        (record.start, record.end, record.count_offset),
+    )
+    faulted = spec.apply(image)
+    assert len(faulted) == len(image) + (record.end - record.start)
+    (before,) = struct.unpack_from(">q", image, record.count_offset)
+    (after,) = struct.unpack_from(">q", faulted, record.count_offset)
+    assert after == before + 1
+
+
+def test_record_delete_patches_the_count_field():
+    image = build_image()
+    chart = map_image(image)
+    record = chart.records[0]
+    spec = FaultSpec(
+        "record-delete", 0,
+        (record.start, record.end, record.count_offset),
+    )
+    faulted = spec.apply(image)
+    assert len(faulted) == len(image) - (record.end - record.start)
+    (before,) = struct.unpack_from(">q", image, record.count_offset)
+    (after,) = struct.unpack_from(">q", faulted, record.count_offset)
+    assert after == before - 1
+
+
+def test_payload_swap_preserves_image_length():
+    image = build_image()
+    chart = map_image(image)
+    spans = [p for p in chart.payloads if p.group == "cell:t:1"]
+    a, b = spans[0], spans[3]
+    spec = FaultSpec(
+        "payload-swap", 0,
+        (a.prefix_start, a.end, b.prefix_start, b.end),
+    )
+    faulted = spec.apply(image)
+    assert len(faulted) == len(image)
+    # Payload a's bytes (prefix included) now sit at b's former slot.
+    moved = image[a.prefix_start:a.end]
+    assert faulted[b.prefix_start:b.prefix_start + len(moved)] == moved
+
+
+def test_block_corrupt_stays_inside_one_payload():
+    image = build_image()
+    chart = map_image(image)
+    for seed in range(40):
+        spec = plan_fault(chart, seed)
+        if spec.kind != "block-corrupt":
+            continue
+        offset, length, _ = spec.params
+        assert length == BLOCK
+        hosts = [
+            p for p in chart.payloads
+            if p.start <= offset and offset + length <= p.end
+        ]
+        assert hosts, f"{spec.name} not inside any payload"
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("warp-core-breach", 0, (0,)).apply(b"\x00" * 64)
+
+
+def test_spec_name_is_replay_friendly():
+    spec = FaultSpec("bitflip", 3, (17, 5), target="t(r=0,c=1)")
+    assert spec.name == "bitflip#3(17,5)@t(r=0,c=1)"

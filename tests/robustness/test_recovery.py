@@ -1,0 +1,167 @@
+"""Resilient loader: quarantine, rebuild, degradation — and never a crash."""
+
+import pytest
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.query import PointQuery
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import dump_database, load_database
+from repro.robustness.faults import map_image, plan_faults
+from repro.robustness.recovery import (
+    INDEX_OK,
+    INDEX_QUARANTINED,
+    INDEX_REBUILT,
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED_CRYPTO,
+    load_database_resilient,
+)
+
+MASTER = b"recovery-test-key-0123456789abcd"
+
+SCHEMA = TableSchema("t", [
+    Column("k", ColumnType.INT),
+    Column("v", ColumnType.TEXT),
+])
+
+
+def build_db(config: EncryptionConfig) -> EncryptedDatabase:
+    db = EncryptedDatabase(MASTER, config)
+    db.create_table(SCHEMA)
+    for i in range(8):
+        db.insert("t", [i, f"value-{i:03d}-{'x' * 40}"])
+    db.create_index("t_k", "t", "k", kind="table")
+    db.create_index("t_v", "t", "v", kind="btree")
+    return db
+
+
+def resilient(image: bytes, config: EncryptionConfig, **kwargs):
+    keys = EncryptedDatabase(MASTER, config)
+    return load_database_resilient(
+        image,
+        cell_codec=keys.cell_codec,
+        index_codec_factory=keys._build_index_codec,
+        **kwargs,
+    )
+
+
+def cell_span(image: bytes, row: int, column: int):
+    chart = map_image(image)
+    (span,) = [
+        p for p in chart.payloads if p.where == f"t(r={row},c={column})"
+    ]
+    return span
+
+
+def test_clean_image_recovers_everything():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = dump_database(build_db(config))
+    result = resilient(image, config)
+    assert result.report.ok
+    assert result.report.rows_recovered == 8
+    assert result.report.rows_quarantined == 0
+    assert set(result.report.index_outcomes.values()) == {INDEX_OK}
+    # The salvaged database serves the same answers as a strict load.
+    assert PointQuery("t", "k", 5).execute(result.database).row_ids() == [5]
+
+
+def test_corrupt_cell_quarantines_only_that_row():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = bytearray(dump_database(build_db(config)))
+    span = cell_span(bytes(image), row=3, column=1)
+    image[span.start] ^= 0x01
+
+    result = resilient(bytes(image), config)
+    report = result.report
+    assert report.row_outcomes["t(r=3)"] == OUTCOME_QUARANTINED_CRYPTO
+    assert all(
+        outcome == OUTCOME_OK
+        for where, outcome in report.row_outcomes.items()
+        if where != "t(r=3)"
+    )
+    # The quarantined row is gone from every read path; survivors serve.
+    db = result.database
+    assert 3 not in db.table("t").row_ids
+    assert PointQuery("t", "k", 3).execute(db).row_ids() == []
+    assert PointQuery("t", "k", 4).execute(db).row_ids() == [4]
+    # Indexes disagreed with the surviving rows, so they were rebuilt
+    # from authenticated cells and query correctly again.
+    assert set(report.index_outcomes.values()) == {INDEX_REBUILT}
+    assert PointQuery("t", "v", f"value-004-{'x' * 40}").execute(db).row_ids() == [4]
+
+
+def test_corrupt_index_payload_triggers_rebuild():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = bytearray(dump_database(build_db(config)))
+    chart = map_image(bytes(image))
+    span = next(p for p in chart.payloads if p.group == "index:t_k")
+    image[span.start] ^= 0x01
+
+    result = resilient(bytes(image), config)
+    assert result.report.rows_recovered == 8  # table rows untouched
+    assert result.report.index_outcomes["t_k"] == INDEX_REBUILT
+    assert result.report.index_outcomes["t_v"] == INDEX_OK
+    assert PointQuery("t", "k", 2).execute(result.database).row_ids() == [2]
+
+
+def test_quarantine_mode_degrades_queries_to_verified_scan():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = bytearray(dump_database(build_db(config)))
+    chart = map_image(bytes(image))
+    span = next(p for p in chart.payloads if p.group == "index:t_k")
+    image[span.start] ^= 0x01
+
+    result = resilient(bytes(image), config, rebuild_indexes=False)
+    assert result.report.index_outcomes["t_k"] == INDEX_QUARANTINED
+    db = result.database
+    outcome = PointQuery("t", "k", 2).execute(db)
+    assert outcome.row_ids() == [2]   # correct, via full scan
+    assert outcome.degraded           # and it says so
+    assert not outcome.used_index
+    healthy = PointQuery("t", "v", f"value-002-{'x' * 40}").execute(db)
+    assert healthy.used_index and not healthy.degraded
+
+
+def test_truncated_image_salvages_the_parseable_prefix():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = dump_database(build_db(config))
+    span = cell_span(image, row=5, column=0)
+    result = resilient(image[:span.start], config)
+    report = result.report
+    assert not report.image_fully_parsed
+    assert not report.ok
+    assert report.rows_recovered == 5       # rows 0..4 framed before the cut
+    assert report.rows_lost_structurally == 3
+    # The cut fell before the index section, so there were no index
+    # headers to salvage — the loader reports none rather than guessing.
+    assert report.index_outcomes == {}
+    assert list(result.database.index_names) == []
+    survivors = result.database.table("t").row_ids
+    assert PointQuery("t", "k", 0).execute(result.database).row_ids() == [0]
+    assert 5 not in survivors
+
+
+@pytest.mark.parametrize("label,config", [
+    ("append-sdm2004", EncryptionConfig(
+        cell_scheme="append", index_scheme="sdm2004", iv_policy="zero")),
+    ("fixed-eax", EncryptionConfig.paper_fixed("eax")),
+], ids=["append-sdm2004", "fixed-eax"])
+def test_resilient_loader_never_raises_on_faulted_images(label, config):
+    # The headline contract: whatever the injector does to the image,
+    # the resilient loader returns a report instead of raising.
+    image = dump_database(build_db(config))
+    for spec in plan_faults(image, 25):
+        result = resilient(spec.apply(image), config)
+        assert result.report is not None, spec.name
+
+
+def test_resilient_matches_strict_on_clean_images():
+    config = EncryptionConfig.paper_fixed("eax")
+    image = dump_database(build_db(config))
+    keys = EncryptedDatabase(MASTER, config)
+    strict = load_database(
+        image,
+        cell_codec=keys.cell_codec,
+        index_codec_factory=keys._build_index_codec,
+    )
+    result = resilient(image, config)
+    assert dump_database(result.database) == dump_database(strict)

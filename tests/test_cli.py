@@ -41,6 +41,19 @@ def test_attacks(capsys):
             assert line.rstrip().endswith("no")
 
 
+def test_faultcampaign(capsys):
+    assert main(["faultcampaign", "--seeds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "detection matrix" in out
+    assert "[3] Append-Scheme" in out
+    assert "0 crashes" in out
+    assert "consistent with the paper's claims" in out
+
+
+def test_faultcampaign_rejects_unknown_argument(capsys):
+    assert main(["faultcampaign", "--bogus"]) == 2
+
+
 def test_unknown_command(capsys):
     assert main(["frobnicate"]) == 2
 
