@@ -10,8 +10,6 @@ pytest-benchmark.  Run with::
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
 

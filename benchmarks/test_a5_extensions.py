@@ -9,7 +9,6 @@
   with DES (b = 8 octets) instead of AES collapses them.
 """
 
-from collections import Counter
 
 from repro.aead.eax import EAX
 from repro.analysis.granularity import granularity_comparison
@@ -155,7 +154,8 @@ def test_a8_chosen_plaintext_oracle(benchmark):
         for i in (2, 9, 17):
             row = db.insert("t", [dictionary[i]])
             victims[row] = dictionary[i]
-        insert = lambda value: db.insert("t", [value])
+        def insert(value):
+            return db.insert("t", [value])
         return evaluate_chosen_plaintext(
             db, db.storage_view(), "t", 0, insert, victims, dictionary, cell_scheme
         )

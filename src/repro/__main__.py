@@ -12,6 +12,11 @@ Commands:
   (default 25) across every scheme configuration and print the
   detection matrix; exits non-zero if the matrix contradicts the
   paper's claims or the resilient loader ever raises.
+* ``bench [--quick] [--scenarios a,b,...] [--out PATH]`` — run the
+  benchmark harness over every scheme configuration, write a
+  ``BENCH_<n>.json`` artifact (auto-numbered unless ``--out`` names a
+  path), and exit non-zero if any measured count diverges from the
+  paper's Sect. 4 cost model.
 """
 
 from __future__ import annotations
@@ -120,6 +125,17 @@ def _overhead() -> int:
     return 0
 
 
+class UsageError(Exception):
+    """Bad command-line input; the driver prints usage and exits 2."""
+
+
+def _parse_int(text: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise UsageError(f"{what} must be an integer, got {text!r}") from None
+
+
 def _faultcampaign(argv: list[str]) -> int:
     from repro.robustness import run_campaign
 
@@ -127,13 +143,14 @@ def _faultcampaign(argv: list[str]) -> int:
     args = list(argv)
     while args:
         arg = args.pop(0)
-        if arg == "--seeds" and args:
-            seeds = int(args.pop(0))
+        if arg == "--seeds":
+            if not args:
+                raise UsageError("--seeds requires a value")
+            seeds = _parse_int(args.pop(0), "--seeds")
         elif arg.startswith("--seeds="):
-            seeds = int(arg.split("=", 1)[1])
+            seeds = _parse_int(arg.split("=", 1)[1], "--seeds")
         else:
-            print(f"unknown faultcampaign argument {arg!r}", file=sys.stderr)
-            return 2
+            raise UsageError(f"unknown faultcampaign argument {arg!r}")
     result = run_campaign(seeds=seeds)
     print(result.format_matrix())
     recovered = sum(r.rows_recovered for r in result.records)
@@ -156,11 +173,64 @@ def _faultcampaign(argv: list[str]) -> int:
 
 
 def _collisions(argv: list[str]) -> int:
-    trials = int(argv[0]) if argv else 1024
+    if len(argv) > 1:
+        raise UsageError("collisions takes at most one argument (trial count)")
+    trials = _parse_int(argv[0], "collisions trial count") if argv else 1024
     experiment = run_collision_experiment(trials)
     print(experiment)
     if trials == 1024:
         print("paper's run on its own address set found 6")
+    return 0
+
+
+def _bench(argv: list[str]) -> int:
+    from repro.bench import (
+        divergences,
+        next_bench_path,
+        run_bench,
+        summarize,
+        write_report,
+    )
+
+    quick = False
+    scenario_names: list[str] | None = None
+    out: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--quick":
+            quick = True
+        elif arg == "--scenarios" or arg.startswith("--scenarios="):
+            if arg == "--scenarios":
+                if not args:
+                    raise UsageError("--scenarios requires a value")
+                value = args.pop(0)
+            else:
+                value = arg.split("=", 1)[1]
+            scenario_names = [s for s in value.split(",") if s]
+        elif arg == "--out" or arg.startswith("--out="):
+            if arg == "--out":
+                if not args:
+                    raise UsageError("--out requires a value")
+                out = args.pop(0)
+            else:
+                out = arg.split("=", 1)[1]
+        else:
+            raise UsageError(f"unknown bench argument {arg!r}")
+
+    try:
+        report = run_bench(scenario_names, quick=quick)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+
+    path = write_report(report, out if out is not None else next_bench_path())
+    print(summarize(report))
+    print(f"report written to {path}")
+    if not report["ok"]:
+        print()
+        for failure in divergences(report):
+            print(f"DIVERGENCE: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -170,16 +240,23 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 2
     command, *rest = argv
-    if command == "demo":
-        return _demo()
-    if command == "attacks":
-        return _attacks()
-    if command == "overhead":
-        return _overhead()
-    if command == "collisions":
-        return _collisions(rest)
-    if command == "faultcampaign":
-        return _faultcampaign(rest)
+    try:
+        if command == "demo":
+            return _demo()
+        if command == "attacks":
+            return _attacks()
+        if command == "overhead":
+            return _overhead()
+        if command == "collisions":
+            return _collisions(rest)
+        if command == "faultcampaign":
+            return _faultcampaign(rest)
+        if command == "bench":
+            return _bench(rest)
+    except UsageError as exc:
+        print(f"error: {exc}\n", file=sys.stderr)
+        print(__doc__)
+        return 2
     print(f"unknown command {command!r}\n", file=sys.stderr)
     print(__doc__)
     return 2

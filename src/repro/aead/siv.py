@@ -13,7 +13,7 @@ so the storage overhead is a single block (16 octets), matching CCFB.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.aead.base import AEAD
 from repro.mac.omac import OMAC

@@ -22,7 +22,6 @@ from typing import Sequence
 
 from repro.aead.base import AEAD
 from repro.primitives.rng import CountingNonceSource
-from repro.primitives.util import blocks_needed
 
 GRANULARITIES = ("cell", "row", "table")
 

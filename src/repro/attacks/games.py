@@ -19,7 +19,6 @@ with advantage ≈ 1:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.attacks.adversary import AttackOutcome
 from repro.attacks.pattern_matching import comparable_ciphertext

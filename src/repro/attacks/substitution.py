@@ -25,7 +25,7 @@ from repro.core.address import Mu, default_mu
 from repro.core.encrypted_db import EncryptedDatabase, StorageView
 from repro.engine.table import CellAddress
 from repro.errors import CryptoError
-from repro.primitives.util import ascii_high_bits, is_ascii, xor_bytes_strict
+from repro.primitives.util import ascii_high_bits, xor_bytes_strict
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,34 @@
+"""Benchmark harness: measured workloads cross-checked against the
+paper's Sect. 4 cost model.  Entry point: ``python -m repro bench``."""
+
+from repro.bench.harness import (
+    check_invocation_formulas,
+    check_storage_overhead,
+    run_bench,
+    summarize,
+)
+from repro.bench.report import (
+    SCHEMA,
+    build_report,
+    divergences,
+    next_bench_path,
+    validate_report,
+    write_report,
+)
+from repro.bench.scenarios import SCENARIOS, ScenarioResult, SizeProfile
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA",
+    "ScenarioResult",
+    "SizeProfile",
+    "build_report",
+    "check_invocation_formulas",
+    "check_storage_overhead",
+    "divergences",
+    "next_bench_path",
+    "run_bench",
+    "summarize",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,118 @@
+"""BENCH_<n>.json: the benchmark artifact format and its validator.
+
+A report is one JSON document per bench run, schema ``repro-bench/1``.
+CI uploads it as an artifact and fails the build when ``ok`` is false —
+i.e. when any measured blockcipher-invocation or storage-overhead count
+diverges from the paper's Sect. 4 cost model.  The format is versioned
+so future PRs can extend it without breaking consumers that diff
+historical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_bench_path(directory: str | Path = ".") -> Path:
+    """First unused ``BENCH_<n>.json`` path in ``directory`` (n from 1)."""
+    directory = Path(directory)
+    taken = set()
+    if directory.is_dir():
+        for entry in directory.iterdir():
+            match = _BENCH_NAME.match(entry.name)
+            if match:
+                taken.add(int(match.group(1)))
+    n = 1
+    while n in taken:
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def build_report(
+    scenario_results: list,
+    paper_checks: dict,
+    quick: bool,
+) -> dict:
+    """Assemble the full report document from scenario results."""
+    scenario_dicts = [result.to_dict() for result in scenario_results]
+    checks_ok = all(check.get("ok") for check in paper_checks.values())
+    scenarios_ok = all(result.ok for result in scenario_results)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": scenario_dicts,
+        "paper_checks": paper_checks,
+        "ok": checks_ok and scenarios_ok,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_report(report: dict) -> list[str]:
+    """Structural problems with a report document (empty = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(report.get("ok"), bool):
+        problems.append("missing boolean 'ok'")
+    if not isinstance(report.get("quick"), bool):
+        problems.append("missing boolean 'quick'")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        problems.append("'scenarios' must be a non-empty list")
+        scenarios = []
+    for index, entry in enumerate(scenarios):
+        where = f"scenarios[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for field in ("scenario", "config", "wall_seconds", "ops", "counters"):
+            if field not in entry:
+                problems.append(f"{where} missing {field!r}")
+        wall = entry.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            problems.append(f"{where}.wall_seconds is not a non-negative number")
+        check = entry.get("paper_check")
+        if check is not None and not isinstance(check.get("ok"), bool):
+            problems.append(f"{where}.paper_check missing boolean 'ok'")
+    checks = report.get("paper_checks")
+    if not isinstance(checks, dict) or not checks:
+        problems.append("'paper_checks' must be a non-empty object")
+    else:
+        for name, check in checks.items():
+            if not isinstance(check, dict) or not isinstance(check.get("ok"), bool):
+                problems.append(f"paper_checks[{name!r}] missing boolean 'ok'")
+    return problems
+
+
+def divergences(report: dict) -> list[str]:
+    """Human-readable list of every failed paper cross-check."""
+    failures = []
+    for name, check in (report.get("paper_checks") or {}).items():
+        if not check.get("ok"):
+            failures.append(f"paper check {name!r} failed: {json.dumps(check)}")
+    for entry in report.get("scenarios") or []:
+        check = entry.get("paper_check")
+        if check is not None and not check.get("ok"):
+            failures.append(
+                f"{entry.get('scenario')}/{entry.get('config')}: "
+                f"predicted {check.get('predicted_cipher_calls')} cipher calls, "
+                f"measured {check.get('measured_cipher_calls')}"
+            )
+    return failures

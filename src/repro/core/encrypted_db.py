@@ -18,8 +18,8 @@ per design decision the paper analyses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Sequence
+from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.aead import CCFB, EAX, GCM, OCB, SIV
 from repro.aead.base import AEAD
@@ -43,6 +43,11 @@ from repro.errors import SchemaError
 from repro.mac.omac import OMAC
 from repro.modes.base import RandomIV, ZeroIV
 from repro.modes.cbc import CBC
+from repro.observability import (
+    maybe_instrument_aead,
+    maybe_instrument_cipher,
+    maybe_instrument_mac,
+)
 from repro.primitives.aes import AES
 from repro.primitives.des import DES, TripleDES
 from repro.primitives.rng import (
@@ -116,19 +121,27 @@ class EncryptionConfig:
 
 
 def _make_aead(name: str, key: bytes) -> AEAD:
+    # When observability is enabled at construction time, the underlying
+    # AES is wrapped so every raw blockcipher invocation — the paper's
+    # Sect. 4 unit of account — lands in the metrics registry.
+    def aes(k: bytes):
+        return maybe_instrument_cipher(AES(k))
+
     if name == "eax":
-        return EAX(AES(key))
+        return maybe_instrument_aead(EAX(aes(key)))
     if name == "ocb":
-        return OCB(AES(key))
+        return maybe_instrument_aead(OCB(aes(key)))
     if name == "ccfb":
-        return CCFB(AES(key))
+        return maybe_instrument_aead(CCFB(aes(key)))
     if name == "gcm":
-        return GCM(AES(key))
+        return maybe_instrument_aead(GCM(aes(key)))
     if name == "siv":
         # SIV needs two subkeys; stretch deterministically from the one key.
         from repro.primitives.hmac import hmac_sha256
 
-        return SIV(AES(key), AES(hmac_sha256(key, b"siv-ctr")[:16]))
+        return maybe_instrument_aead(
+            SIV(aes(key), aes(hmac_sha256(key, b"siv-ctr")[:16]))
+        )
     raise SchemaError(f"unknown AEAD {name!r}")
 
 
@@ -185,10 +198,12 @@ class EncryptedDatabase(Database):
     def _legacy_cipher(self, key: bytes):
         """Block cipher instance for the [3]/[12] schemes."""
         if self.config.cipher == "des":
-            return DES(key[:8])
-        if self.config.cipher == "3des":
-            return TripleDES(key + key[:8])
-        return AES(key)
+            cipher = DES(key[:8])
+        elif self.config.cipher == "3des":
+            cipher = TripleDES(key + key[:8])
+        else:
+            cipher = AES(key)
+        return maybe_instrument_cipher(cipher)
 
     def _mode(self, key: bytes):
         """The deterministic-or-random E the [3]/[12] schemes run over."""
@@ -212,7 +227,9 @@ class EncryptedDatabase(Database):
         if self.config.per_column_keys:
             from repro.core.access import ColumnKeyedCellScheme
 
-            factory = lambda key: _make_aead(self.config.aead, key)
+            def factory(key: bytes) -> AEAD:
+                return _make_aead(self.config.aead, key)
+
             probe = _make_aead(self.config.aead, bytes(16))
             return ColumnKeyedCellScheme(
                 self.keys, factory, nonce_size=_nonce_size_for(probe)
@@ -231,9 +248,11 @@ class EncryptedDatabase(Database):
         if scheme == "dbsec2005":
             if self.config.mac_shared_key:
                 # The [12] pathology: MAC keyed with the encryption key.
-                mac = OMAC(self._legacy_cipher(self._legacy_key()))
+                mac = maybe_instrument_mac(OMAC(self._legacy_cipher(self._legacy_key())))
             else:
-                mac = OMAC(self._legacy_cipher(self.keys.index_mac_key()))
+                mac = maybe_instrument_mac(
+                    OMAC(self._legacy_cipher(self.keys.index_mac_key()))
+                )
             return DBSec2005IndexCodec(
                 self._mode(self._legacy_key()),
                 mac,

@@ -17,7 +17,6 @@ structures and counts the rounds, feeding benchmark X3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
 
 from repro.core.encrypted_db import EncryptedDatabase
 from repro.engine.btree import BPlusTree

@@ -20,8 +20,13 @@ from typing import Iterator
 
 from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
+from repro.observability.metrics import REGISTRY as _METRICS
 
 NO_REF = -1
+
+_BTREE_INSERTS = _METRICS.counter("index.btree.inserts")
+_BTREE_SEARCHES = _METRICS.counter("index.btree.searches")
+_BTREE_NODES_READ = _METRICS.counter("index.btree.nodes_read")
 
 
 @dataclass
@@ -146,6 +151,7 @@ class BPlusTree:
 
     def insert(self, key: bytes, table_row: int) -> int:
         """Insert a (key, table_row) pair; returns the entry's r_I."""
+        _BTREE_INSERTS.inc()
         row_id = self._new_row_id()
         split = self._insert_into(self._root, key, table_row, row_id)
         if split is not None:
@@ -417,6 +423,7 @@ class BPlusTree:
     # -- queries -------------------------------------------------------------
 
     def _observe(self, node_id: int) -> None:
+        _BTREE_NODES_READ.inc()
         if self.observer is not None:
             self.observer(node_id)
 
@@ -447,6 +454,7 @@ class BPlusTree:
         return [row for _, row in self.range_search(key, key)]
 
     def range_search(self, low: bytes, high: bytes) -> list[tuple[bytes, int]]:
+        _BTREE_SEARCHES.inc()
         results: list[tuple[bytes, int]] = []
         node = self.node(self._leaf_for(low))
         seen: set[int] = set()

@@ -23,9 +23,10 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.engine.btree import BPlusTree
 from repro.engine.codec import IndexEntryCodec, PlainEntryCodec
 from repro.engine.indextable import IndexTable
-from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.schema import ColumnType, TableSchema
 from repro.engine.table import CellAddress, Table
 from repro.errors import NoSuchIndexError, NoSuchTableError, SchemaError
+from repro.observability import timed
 
 
 class CellCodec(ABC):
@@ -123,6 +124,7 @@ class Database:
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
+    @timed("db.create_index")
     def create_index(
         self, name: str, table_name: str, column_name: str, kind: str = "table",
         order: int = 8,
@@ -202,6 +204,7 @@ class Database:
 
     # -- data manipulation -----------------------------------------------------
 
+    @timed("db.insert")
     def insert(self, table_name: str, values: Sequence[Any]) -> int:
         """Insert a typed row; cells pass through the cell codec and every
         index on the table is maintained."""
@@ -249,6 +252,7 @@ class Database:
         column_pos = table.schema.column_index(column_name)
         return self._plain_cell(table, row_id, column_pos)
 
+    @timed("db.update")
     def update_value(
         self, table_name: str, row_id: int, column_name: str, value: Any
     ) -> None:
@@ -265,6 +269,7 @@ class Database:
             info.structure.delete(old_plain, row_id)
             info.structure.insert(new_plain, row_id)
 
+    @timed("db.delete")
     def delete_row(self, table_name: str, row_id: int) -> None:
         table = self.table(table_name)
         for info in self._table_indexes(table_name):
@@ -275,6 +280,7 @@ class Database:
 
     # -- queries ---------------------------------------------------------------
 
+    @timed("db.query.point")
     def select_equals(
         self, table_name: str, column_name: str, value: Any
     ) -> list[tuple[int, list[Any]]]:
@@ -288,6 +294,7 @@ class Database:
             return [(row_id, self.get_row(table_name, row_id)) for row_id in row_ids]
         return self._scan_filter(table_name, column_name, lambda cell: cell == key)
 
+    @timed("db.query.range")
     def select_range(
         self, table_name: str, column_name: str, low: Any, high: Any
     ) -> list[tuple[int, list[Any]]]:
@@ -303,6 +310,7 @@ class Database:
             table_name, column_name, lambda cell: low_key <= cell <= high_key
         )
 
+    @timed("db.query.prefix")
     def select_prefix(
         self, table_name: str, column_name: str, prefix: str
     ) -> list[tuple[int, list[Any]]]:
@@ -328,6 +336,7 @@ class Database:
             table_name, column_name, lambda cell: cell.startswith(low_key)
         )
 
+    @timed("db.query.at_least")
     def select_at_least(
         self, table_name: str, column_name: str, low: Any
     ) -> list[tuple[int, list[Any]]]:
@@ -344,6 +353,7 @@ class Database:
             table_name, column_name, lambda cell: cell >= low_key
         )
 
+    @timed("db.query.at_most")
     def select_at_most(
         self, table_name: str, column_name: str, high: Any
     ) -> list[tuple[int, list[Any]]]:

@@ -18,14 +18,18 @@ but does not hold the key.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
+from repro.observability.metrics import REGISTRY as _METRICS
 
 #: Sentinel "no reference" value stored in structural columns.
 NO_REF = -1
+
+_INDEXTABLE_INSERTS = _METRICS.counter("index.table.inserts")
+_INDEXTABLE_SEARCHES = _METRICS.counter("index.table.searches")
 
 
 @dataclass
@@ -139,6 +143,7 @@ class IndexTable:
         chain intact.  Correct but not self-balancing; callers that load
         in bulk should use :meth:`bulk_build` or :meth:`rebuild`.
         """
+        _INDEXTABLE_INSERTS.inc()
         new_leaf = self._new_row(is_leaf=True)
         if self._root == NO_REF:
             self._root = new_leaf.row_id
@@ -240,6 +245,7 @@ class IndexTable:
         Verification behaviour at each step is the codec's concern
         (``decode_for_query``), which is where the footnote-1 bugs live.
         """
+        _INDEXTABLE_SEARCHES.inc()
         if self._root == NO_REF:
             return []
         current = self._row(self._root)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.engine.database import Database
+from repro.observability.trace import TRACER
 
 
 @dataclass(frozen=True)
@@ -84,9 +85,10 @@ class PointQuery(Query):
     value: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index, degraded = _access_path(db, self.table, self.column)
-        rows = db.select_equals(self.table, self.column, self.value)
-        return _freeze(rows, used_index, degraded)
+        with TRACER.span("query.point", table=self.table, column=self.column):
+            used_index, degraded = _access_path(db, self.table, self.column)
+            rows = db.select_equals(self.table, self.column, self.value)
+            return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -99,9 +101,10 @@ class RangeQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index, degraded = _access_path(db, self.table, self.column)
-        rows = db.select_range(self.table, self.column, self.low, self.high)
-        return _freeze(rows, used_index, degraded)
+        with TRACER.span("query.range", table=self.table, column=self.column):
+            used_index, degraded = _access_path(db, self.table, self.column)
+            rows = db.select_range(self.table, self.column, self.low, self.high)
+            return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -113,9 +116,10 @@ class PrefixQuery(Query):
     prefix: str
 
     def execute(self, db: Database) -> QueryResult:
-        used_index, degraded = _access_path(db, self.table, self.column)
-        rows = db.select_prefix(self.table, self.column, self.prefix)
-        return _freeze(rows, used_index, degraded)
+        with TRACER.span("query.prefix", table=self.table, column=self.column):
+            used_index, degraded = _access_path(db, self.table, self.column)
+            rows = db.select_prefix(self.table, self.column, self.prefix)
+            return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -127,9 +131,10 @@ class AtLeastQuery(Query):
     low: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index, degraded = _access_path(db, self.table, self.column)
-        rows = db.select_at_least(self.table, self.column, self.low)
-        return _freeze(rows, used_index, degraded)
+        with TRACER.span("query.at_least", table=self.table, column=self.column):
+            used_index, degraded = _access_path(db, self.table, self.column)
+            rows = db.select_at_least(self.table, self.column, self.low)
+            return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -141,9 +146,10 @@ class AtMostQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        used_index, degraded = _access_path(db, self.table, self.column)
-        rows = db.select_at_most(self.table, self.column, self.high)
-        return _freeze(rows, used_index, degraded)
+        with TRACER.span("query.at_most", table=self.table, column=self.column):
+            used_index, degraded = _access_path(db, self.table, self.column)
+            rows = db.select_at_most(self.table, self.column, self.high)
+            return _freeze(rows, used_index, degraded)
 
 
 @dataclass(frozen=True)
@@ -154,12 +160,13 @@ class ScanQuery(Query):
     predicate: Callable[[Sequence[Any]], bool] | None = None
 
     def execute(self, db: Database) -> QueryResult:
-        rows = [
-            (row_id, values)
-            for row_id, values in db.scan(self.table)
-            if self.predicate is None or self.predicate(values)
-        ]
-        return _freeze(rows, used_index=False)
+        with TRACER.span("query.scan", table=self.table):
+            rows = [
+                (row_id, values)
+                for row_id, values in db.scan(self.table)
+                if self.predicate is None or self.predicate(values)
+            ]
+            return _freeze(rows, used_index=False)
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,8 @@ from repro.engine.database import Database, IndexCodecFactory, CellCodec
 from repro.engine.indextable import IndexRow, IndexTable
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.errors import StorageFormatError
+from repro.observability import timed
+from repro.observability.metrics import REGISTRY as _METRICS
 
 _MAGIC = b"REPRODB1"
 
@@ -126,6 +128,7 @@ class _Reader:
         self._offset += len(tag)
 
 
+@timed("storage.dump")
 def dump_database(db: Database) -> bytes:
     """Serialise every table and index to a storage image."""
     out = io.BytesIO()
@@ -162,7 +165,9 @@ def dump_database(db: Database) -> bytes:
         else:
             _write_text(out, "btree")
             _dump_btree(out, structure)
-    return out.getvalue()
+    image = out.getvalue()
+    _METRICS.histogram("storage.image_bytes").observe(len(image))
+    return image
 
 
 def _dump_index_table(out: io.BytesIO, index: IndexTable) -> None:
@@ -202,6 +207,7 @@ def _dump_btree(out: io.BytesIO, tree: BPlusTree) -> None:
             _write_bytes(out, entry.payload)
 
 
+@timed("storage.load")
 def load_database(
     image: bytes,
     cell_codec: CellCodec | None = None,

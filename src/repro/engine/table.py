@@ -14,6 +14,12 @@ from typing import Any, Iterator, Sequence
 
 from repro.engine.schema import TableSchema
 from repro.errors import NoSuchRowError, SchemaError
+from repro.observability.metrics import REGISTRY as _METRICS
+
+# Created once at import; .inc() is a no-op while observability is off.
+_CELL_READS = _METRICS.counter("storage.cell.reads")
+_CELL_WRITES = _METRICS.counter("storage.cell.writes")
+_CELL_BYTES_WRITTEN = _METRICS.histogram("storage.cell.written_bytes")
 
 
 @dataclass(frozen=True, order=True)
@@ -74,12 +80,15 @@ class Table:
         return row_id
 
     def get_cell(self, row_id: int, column: int) -> bytes:
+        _CELL_READS.inc()
         row = self._get_row(row_id)
         if not 0 <= column < len(row):
             raise SchemaError(f"column index {column} out of range")
         return row[column]
 
     def set_cell(self, row_id: int, column: int, payload: bytes) -> None:
+        _CELL_WRITES.inc()
+        _CELL_BYTES_WRITTEN.observe(len(payload))
         row = self._get_row(row_id)
         if not 0 <= column < len(row):
             raise SchemaError(f"column index {column} out of range")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.errors import BlockSizeError, NonceError
+from repro.observability.metrics import REGISTRY as _METRICS
 from repro.primitives.blockcipher import BlockCipher
 from repro.primitives.padding import PKCS7, PaddingScheme
 from repro.primitives.rng import RandomSource
@@ -131,6 +132,11 @@ class CipherMode(ABC):
 
     def encrypt(self, plaintext: bytes) -> bytes:
         """Pad and encrypt an arbitrary-length message."""
+        if _METRICS.enabled:
+            _METRICS.counter(f"mode.{self.name}.encrypts").inc()
+            _METRICS.histogram(f"mode.{self.name}.plaintext_bytes").observe(
+                len(plaintext)
+            )
         iv = self._iv_policy.generate(self.block_size)
         padded = self._padding.pad(plaintext, self.block_size)
         body = self.encrypt_blocks(padded, iv)
@@ -138,6 +144,8 @@ class CipherMode(ABC):
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         """Decrypt and unpad a message produced by :meth:`encrypt`."""
+        if _METRICS.enabled:
+            _METRICS.counter(f"mode.{self.name}.decrypts").inc()
         if self._embed_iv:
             if len(ciphertext) < self.block_size:
                 raise BlockSizeError("ciphertext shorter than embedded IV")

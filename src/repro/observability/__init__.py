@@ -1,0 +1,75 @@
+"""Observability: metrics, tracing, and instrumentation hooks.
+
+Off by default.  Typical benchmark usage::
+
+    from repro import observability
+
+    observability.enable()        # before constructing the database
+    db = EncryptedDatabase(key, config)   # primitives get instrumented
+    ...                                   # run the workload
+    print(observability.REGISTRY.snapshot())
+    observability.disable()
+
+See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from repro.observability.instrument import (
+    InstrumentedAEAD,
+    InstrumentedCipher,
+    InstrumentedMAC,
+    maybe_instrument_aead,
+    maybe_instrument_cipher,
+    maybe_instrument_mac,
+    timed,
+)
+from repro.observability.metrics import (
+    REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.observability.trace import TRACER, Span, Tracer
+
+
+def enable() -> None:
+    """Turn metric collection and tracing on (idempotent)."""
+    REGISTRY.enable()
+
+
+def disable() -> None:
+    """Turn metric collection and tracing off (idempotent)."""
+    REGISTRY.disable()
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def reset() -> None:
+    """Zero all metrics and drop all finished spans."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "Counter",
+    "Histogram",
+    "InstrumentedAEAD",
+    "InstrumentedCipher",
+    "InstrumentedMAC",
+    "MetricsRegistry",
+    "Span",
+    "Timer",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "maybe_instrument_aead",
+    "maybe_instrument_cipher",
+    "maybe_instrument_mac",
+    "reset",
+    "timed",
+]

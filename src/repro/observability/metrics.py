@@ -1,0 +1,202 @@
+"""Zero-dependency metrics: counters, histograms, and timers.
+
+The ROADMAP's north star — an engine that runs "as fast as the hardware
+allows" — cannot be steered without measurement, and the paper's own
+cost model (Sect. 4) is stated in countable units: blockcipher
+invocations and per-entry storage octets.  This registry makes those
+quantities (plus wall time) observable at runtime.
+
+Design constraints, in order:
+
+1. **Off by default.**  A freshly imported registry records nothing.
+2. **Near-zero disabled cost.**  Every mutate path begins with a single
+   ``enabled`` attribute check; hot call sites additionally guard with
+   ``if REGISTRY.enabled:`` so the disabled path is one boolean test.
+3. **Thread-safe when enabled.**  Each metric carries its own lock, so
+   concurrent increments never lose updates (the engine is headed for
+   concurrent workloads; see ROADMAP).
+4. **No dependencies.**  Standard library only, importable from any
+   layer without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_registry", "_lock", "_value")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount``; a no-op while the registry is disabled."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max.
+
+    Deliberately not bucketed — the bench reporter wants exact counts
+    and totals, and a fixed-size summary keeps long runs O(1) in memory.
+    """
+
+    __slots__ = ("name", "_registry", "_lock", "count", "total", "min", "max")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample; a no-op while the registry is disabled."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Timer:
+    """Context manager feeding elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_registry", "_start")
+
+    def __init__(self, histogram: Histogram, registry: "MetricsRegistry") -> None:
+        self._histogram = histogram
+        self._registry = registry
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        if self._registry.enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._histogram.observe(time.perf_counter() - self._start)
+            self._start = None
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms with one switch.
+
+    ``enabled`` starts False: instrumented code paths read it once and
+    fall through, so a database built with the registry off behaves —
+    and stores — byte-for-byte like an uninstrumented one (pinned by the
+    regression tests in ``tests/observability``).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric (between benchmark scenarios)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+    # -- metric access ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name, self))
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name, self))
+
+    def timer(self, name: str) -> Timer:
+        """A fresh context manager timing into ``histogram(name)``."""
+        return Timer(self.histogram(name), self)
+
+    # -- reporting ----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Non-zero counter values, sorted by name."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if counter.value
+        }
+
+    def histograms(self) -> dict[str, dict]:
+        """Summaries of every histogram that saw at least one sample."""
+        return {
+            name: histogram.summary()
+            for name, histogram in sorted(self._histograms.items())
+            if histogram.count
+        }
+
+    def snapshot(self) -> dict:
+        """One JSON-ready view of everything recorded so far."""
+        return {"counters": self.counters(), "histograms": self.histograms()}
+
+
+#: The process-wide registry every instrumented call site reports to.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,144 @@
+"""Lightweight span tracing for query-path introspection.
+
+A *span* is a named, timed region of execution; nested spans record
+their parent, so one query produces a small tree: ``query.point`` over
+``db.select_equals`` over per-cell decrypts.  Spans answer the question
+metrics cannot — *where* inside one operation the time went — while
+staying zero-dependency and off by default (the disabled path is a
+single boolean test returning a shared no-op span).
+
+The tracer keeps a bounded ring of finished spans: benchmark runs are
+long, and tracing must never become the memory hog it is meant to find.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability.metrics import REGISTRY, MetricsRegistry
+
+
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    __slots__ = ("name", "attributes", "start", "duration", "parent")
+
+    def __init__(self, name: str, attributes: dict, parent: str | None) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.parent = parent
+        self.start = time.perf_counter()
+        self.duration: float | None = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "duration_seconds": self.duration,
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """The span handed out while tracing is disabled: absorbs everything."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager pushing a real span on this thread's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self._span.set_attribute(key, value)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._stack().append(self._span)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        self._span.duration = time.perf_counter() - self._span.start
+        self._tracer._record(self._span)
+
+
+class Tracer:
+    """Span factory bound to a :class:`MetricsRegistry`'s on/off switch."""
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, max_spans: int = 10_000
+    ) -> None:
+        self._registry = registry if registry is not None else REGISTRY
+        self._max_spans = max_spans
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def span(self, name: str, **attributes: object):
+        """Open a span; use as ``with tracer.span("query.point") as s:``."""
+        if not self._registry.enabled:
+            return _NULL_SPAN
+        stack = self._stack()
+        parent = stack[-1].name if stack else None
+        return _ActiveSpan(self, Span(name, dict(attributes), parent))
+
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    def snapshot(self) -> list[dict]:
+        return [span.to_dict() for span in self.finished()]
+
+    # -- internals ----------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) >= self._max_spans:
+                # Drop the oldest half in one go: O(1) amortised and the
+                # recent spans (what a bench report reads) survive.
+                del self._finished[: self._max_spans // 2]
+                self.dropped += self._max_spans // 2
+            self._finished.append(span)
+
+
+#: The process-wide tracer, sharing the metrics registry's switch.
+TRACER = Tracer(REGISTRY)

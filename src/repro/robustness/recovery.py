@@ -261,7 +261,6 @@ def _parse_table(reader: _Reader, db: Database, report: RecoveryReport) -> None:
         raise StorageFormatError(f"unusable table schema: {exc}") from None
     table = Table(table_id, schema)
     next_row = reader.read_int()
-    row_count_at = reader.offset
     row_count = reader.read_count("row")
 
     registered = name not in db._tables

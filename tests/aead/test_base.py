@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.aead import CCFB, EAX, GCM, OCB, SIV, StoredEntry, make_aead
+from repro.aead import StoredEntry, make_aead
 from repro.errors import AuthenticationError
 from repro.primitives.aes import AES
 

@@ -4,8 +4,8 @@ import itertools
 
 import pytest
 
-from repro.aead import CCFB, EAX, GCM, OCB, SIV, make_aead
-from repro.errors import AuthenticationError, NonceError
+from repro.aead import make_aead
+from repro.errors import AuthenticationError
 from repro.primitives.aes import AES
 
 NAMES = ["eax", "ocb", "ccfb", "gcm", "siv"]

@@ -4,11 +4,7 @@ import pytest
 
 from repro.aead.ccfb import CCFB
 from repro.aead.eax import EAX
-from repro.analysis.granularity import (
-    GranularityCost,
-    granularity_comparison,
-    measure_granularity,
-)
+from repro.analysis.granularity import granularity_comparison, measure_granularity
 from repro.primitives.aes import AES
 
 ROWS = [[b"k" * 8, b"some-name-value", b"a-diagnosis-str"] for _ in range(40)]

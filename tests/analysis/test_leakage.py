@@ -1,6 +1,5 @@
 """The unified leakage profiler."""
 
-import pytest
 
 from repro.analysis.leakage import PROBES, profile_configuration, profile_matrix
 from repro.core.encrypted_db import EncryptionConfig

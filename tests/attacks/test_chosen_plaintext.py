@@ -1,6 +1,5 @@
 """The chosen-plaintext dictionary oracle against deterministic cells."""
 
-import pytest
 
 from repro.attacks.chosen_plaintext import (
     confirm_guess,
@@ -28,7 +27,8 @@ def build(cell_scheme: str):
         victims[row] = DICTIONARY[i]
     # A row whose value is outside the dictionary.
     db.insert("users", ["ssn-9999-zzzzzzz"])
-    insert = lambda value: db.insert("users", [value])
+    def insert(value):
+        return db.insert("users", [value])
     return db, db.storage_view(), insert, victims
 
 
@@ -84,7 +84,8 @@ def test_random_iv_ablation_defeats_the_oracle():
     )
     db.create_table(SCHEMA)
     row = db.insert("users", [DICTIONARY[0]])
-    insert = lambda value: db.insert("users", [value])
+    def insert(value):
+        return db.insert("users", [value])
     outcome = evaluate_chosen_plaintext(
         db, db.storage_view(), "users", 0, insert,
         {row: DICTIONARY[0]}, DICTIONARY, "append/random-iv",

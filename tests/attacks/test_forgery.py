@@ -1,6 +1,5 @@
 """E2/E5: CBC cut-and-paste forgeries against cells and [3]-indexes."""
 
-import pytest
 
 from repro.attacks.forgery import (
     evaluate_append_forgery,

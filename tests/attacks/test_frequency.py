@@ -1,6 +1,5 @@
 """Frequency analysis against deterministic cell encryption."""
 
-import pytest
 
 from repro.attacks.frequency import (
     ciphertext_histogram,

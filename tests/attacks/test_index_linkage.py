@@ -1,6 +1,5 @@
 """E4/E6: index ↔ table correlation and the ordering leak."""
 
-import pytest
 
 from repro.attacks.index_linkage import (
     evaluate_index_linkage,

@@ -1,6 +1,5 @@
 """E1: pattern matching on cells; X2: keystream reuse."""
 
-import pytest
 
 from repro.attacks.pattern_matching import (
     comparable_ciphertext,

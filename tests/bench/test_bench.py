@@ -1,0 +1,143 @@
+"""Bench harness: report schema, paper cross-checks, and artifact paths."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.bench import (
+    SCHEMA,
+    divergences,
+    next_bench_path,
+    run_bench,
+    summarize,
+    validate_report,
+    write_report,
+)
+from repro.bench.scenarios import SizeProfile, supports_typed_reads
+from repro.robustness.campaign import default_campaign_configs
+
+
+@pytest.fixture(autouse=True)
+def _global_observability():
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # One scenario keeps the tier-1 run fast; the full matrix runs in
+    # the CI bench-smoke job and the nightly benchmarks tier.
+    return run_bench(["bulk_insert"], quick=True)
+
+
+def test_quick_report_passes_paper_checks(quick_report):
+    assert quick_report["ok"] is True
+    assert quick_report["paper_checks"]["blockcipher_invocations"]["ok"]
+    assert quick_report["paper_checks"]["storage_overhead"]["ok"]
+
+
+def test_quick_report_validates(quick_report):
+    assert validate_report(quick_report) == []
+    assert quick_report["schema"] == SCHEMA
+    assert divergences(quick_report) == []
+
+
+def test_report_covers_every_configuration(quick_report):
+    labels = {entry["config"] for entry in quick_report["scenarios"]}
+    assert labels == {label for label, _ in default_campaign_configs()}
+
+
+def test_aead_scenarios_carry_formula_checks(quick_report):
+    checked = {
+        entry["config"]: entry["paper_check"]
+        for entry in quick_report["scenarios"]
+        if entry["paper_check"] is not None
+    }
+    assert set(checked) == {"fixed AEAD (EAX)", "fixed AEAD (OCB)"}
+    for check in checked.values():
+        assert check["ok"] is True
+        assert check["predicted_cipher_calls"] == check["measured_cipher_calls"]
+        assert check["measured_cipher_calls"] > 0
+
+
+def test_run_bench_restores_prior_observability_state():
+    run_bench(["bulk_insert"], quick=True)
+    assert not observability.enabled()
+    assert observability.REGISTRY.counters() == {}
+    observability.enable()
+    run_bench(["bulk_insert"], quick=True)
+    assert observability.enabled()
+
+
+def test_run_bench_rejects_unknown_scenario():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_bench(["no_such_scenario"], quick=True)
+
+
+def test_typed_read_support_matrix():
+    support = {
+        label: supports_typed_reads(config)
+        for label, config in default_campaign_configs()
+    }
+    # Only the [3] XOR-Scheme (no-validator decode keeps the padding)
+    # cannot round-trip typed values.
+    assert support["[3] XOR-Scheme"] is False
+    assert all(ok for label, ok in support.items() if label != "[3] XOR-Scheme")
+
+
+def test_summarize_mentions_status_and_skips(quick_report):
+    text = summarize(quick_report)
+    assert "bench (quick profile): OK" in text
+    assert "paper check blockcipher_invocations: ok" in text
+
+
+def test_write_report_and_next_bench_path(tmp_path, quick_report):
+    first = next_bench_path(tmp_path)
+    assert first.name == "BENCH_1.json"
+    write_report(quick_report, first)
+    assert next_bench_path(tmp_path).name == "BENCH_2.json"
+    loaded = json.loads(first.read_text())
+    assert validate_report(loaded) == []
+
+
+def test_validate_report_flags_structural_problems():
+    assert validate_report({"schema": "bogus"}) != []
+    broken = {
+        "schema": SCHEMA,
+        "ok": True,
+        "quick": True,
+        "scenarios": [{"scenario": "x"}],
+        "paper_checks": {"c": {}},
+    }
+    problems = validate_report(broken)
+    assert any("missing" in p for p in problems)
+
+
+def test_divergences_reports_failed_checks():
+    report = {
+        "paper_checks": {"c": {"ok": False, "detail": 1}},
+        "scenarios": [
+            {
+                "scenario": "bulk_insert",
+                "config": "fixed AEAD (EAX)",
+                "paper_check": {
+                    "ok": False,
+                    "predicted_cipher_calls": 10,
+                    "measured_cipher_calls": 11,
+                },
+            }
+        ],
+    }
+    failures = divergences(report)
+    assert len(failures) == 2
+    assert any("predicted 10" in f for f in failures)
+
+
+def test_size_profiles_are_ordered():
+    quick, full = SizeProfile.quick(), SizeProfile.full()
+    assert quick.rows < full.rows
+    assert quick.fault_seeds < full.fault_seeds

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.access import AccessController, ColumnKeyedCellScheme
+from repro.core.access import AccessController
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig, _make_aead
 from repro.engine.query import PointQuery
 from repro.engine.schema import Column, ColumnType, TableSchema

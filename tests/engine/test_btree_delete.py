@@ -1,10 +1,9 @@
 """B⁺-tree deletion with rebalancing (borrow / merge / height shrink)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.btree import NO_REF, BPlusTree
+from repro.engine.btree import BPlusTree
 from repro.engine.codec import PlainEntryCodec
 
 

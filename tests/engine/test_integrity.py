@@ -1,6 +1,5 @@
 """The whole-database integrity audit."""
 
-import pytest
 
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
 from repro.engine.integrity import verify_database

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
 from repro.engine.database import Database
-from repro.engine.query import PointQuery, RangeQuery
+from repro.engine.query import PointQuery
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.storage import dump_database, load_database
 from repro.errors import AuthenticationError, StorageFormatError

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.modes import CBC, CFB, CTR, ECB, OFB, RandomIV, ZeroIV
+from repro.modes import CBC, CFB, CTR, ECB, OFB, RandomIV
 from repro.primitives.aes import AES
 from repro.primitives.des import DES
 from repro.primitives.rng import DeterministicRandom

@@ -1,0 +1,114 @@
+"""Instrumentation wrappers and the global enable/disable lifecycle.
+
+These tests mutate the process-wide registry, so each one restores the
+disabled default on exit (the ``_global_observability`` fixture).
+"""
+
+import pytest
+
+from repro import observability
+from repro.aead.eax import EAX
+from repro.errors import AuthenticationError
+from repro.observability import (
+    InstrumentedAEAD,
+    InstrumentedCipher,
+    maybe_instrument_aead,
+    maybe_instrument_cipher,
+    timed,
+)
+from repro.observability.metrics import REGISTRY
+from repro.primitives.aes import AES
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(autouse=True)
+def _global_observability():
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+def test_maybe_instrument_returns_bare_object_when_disabled():
+    cipher = AES(KEY)
+    aead = EAX(AES(KEY))
+    assert maybe_instrument_cipher(cipher) is cipher
+    assert maybe_instrument_aead(aead) is aead
+
+
+def test_maybe_instrument_wraps_when_enabled():
+    observability.enable()
+    wrapped = maybe_instrument_cipher(AES(KEY))
+    assert isinstance(wrapped, InstrumentedCipher)
+    assert isinstance(maybe_instrument_aead(EAX(AES(KEY))), InstrumentedAEAD)
+
+
+def test_cipher_wrapper_counts_and_preserves_output():
+    observability.enable()
+    plain = AES(KEY)
+    wrapped = InstrumentedCipher(AES(KEY))
+    block = bytes(16)
+    assert wrapped.encrypt_block(block) == plain.encrypt_block(block)
+    assert wrapped.decrypt_block(block) == plain.decrypt_block(block)
+    counters = REGISTRY.counters()
+    assert counters["cipher.aes-128.encrypt_blocks"] == 1
+    assert counters["cipher.aes-128.decrypt_blocks"] == 1
+
+
+def test_aead_wrapper_counts_auth_failures():
+    observability.enable()
+    aead = InstrumentedAEAD(EAX(AES(KEY)))
+    nonce = bytes(16)
+    ciphertext, tag = aead.encrypt(nonce, b"payload", b"header")
+    assert aead.decrypt(nonce, ciphertext, tag, b"header") == b"payload"
+    with pytest.raises(AuthenticationError):
+        aead.decrypt(nonce, ciphertext, bytes(len(tag)), b"header")
+    counters = REGISTRY.counters()
+    assert counters["aead.eax.encrypts"] == 1
+    assert counters["aead.eax.decrypts"] == 2
+    assert counters["aead.eax.auth_failures"] == 1
+
+
+def test_wrapper_delegates_unknown_attributes():
+    observability.enable()
+    wrapped = InstrumentedCipher(AES(KEY))
+    assert wrapped.block_size == 16
+    assert wrapped.name == "aes-128"
+    with pytest.raises(AttributeError):
+        wrapped.no_such_attribute
+
+
+def test_timed_decorator_disabled_is_passthrough():
+    @timed("unit.op")
+    def op(x):
+        return x + 1
+
+    assert op(1) == 2
+    assert REGISTRY.counters() == {}
+
+
+def test_timed_decorator_counts_and_times_when_enabled():
+    observability.enable()
+
+    @timed("unit.op")
+    def op(x):
+        return x + 1
+
+    assert op(1) == 2
+    assert REGISTRY.counters()["unit.op.calls"] == 1
+    assert REGISTRY.histogram("unit.op.seconds").count == 1
+
+
+def test_timed_decorator_times_raising_calls():
+    observability.enable()
+
+    @timed("unit.boom")
+    def boom():
+        raise ValueError("x")
+
+    with pytest.raises(ValueError):
+        boom()
+    assert REGISTRY.counters()["unit.boom.calls"] == 1
+    assert REGISTRY.histogram("unit.boom.seconds").count == 1

@@ -1,0 +1,136 @@
+"""Metrics registry: correctness, thread safety, and the off switch."""
+
+import threading
+
+from repro.observability.metrics import MetricsRegistry
+
+
+def _enabled_registry():
+    registry = MetricsRegistry()
+    registry.enable()
+    return registry
+
+
+def test_counter_disabled_is_noop():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(100)
+    assert counter.value == 0
+    assert registry.counters() == {}
+
+
+def test_counter_counts_when_enabled():
+    registry = _enabled_registry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.counters() == {"c": 5}
+
+
+def test_counter_identity_is_stable():
+    registry = _enabled_registry()
+    assert registry.counter("same") is registry.counter("same")
+
+
+def test_counter_thread_safety():
+    registry = _enabled_registry()
+    counter = registry.counter("contended")
+    increments_per_thread = 10_000
+    threads = [
+        threading.Thread(
+            target=lambda: [counter.inc() for _ in range(increments_per_thread)]
+        )
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8 * increments_per_thread
+
+
+def test_histogram_summary():
+    registry = _enabled_registry()
+    histogram = registry.histogram("h")
+    for value in (4.0, 1.0, 7.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 3
+    assert summary["total"] == 12.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 7.0
+    assert summary["mean"] == 4.0
+
+
+def test_histogram_disabled_is_noop():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    histogram.observe(3.0)
+    assert histogram.count == 0
+    assert histogram.mean is None
+    assert registry.histograms() == {}
+
+
+def test_histogram_thread_safety():
+    registry = _enabled_registry()
+    histogram = registry.histogram("contended")
+    observations_per_thread = 5_000
+    threads = [
+        threading.Thread(
+            target=lambda: [histogram.observe(1.0) for _ in range(observations_per_thread)]
+        )
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert histogram.count == 8 * observations_per_thread
+    assert histogram.total == 8 * observations_per_thread * 1.0
+
+
+def test_timer_observes_elapsed_seconds():
+    registry = _enabled_registry()
+    with registry.timer("t"):
+        pass
+    histogram = registry.histogram("t")
+    assert histogram.count == 1
+    assert histogram.min is not None and histogram.min >= 0.0
+
+
+def test_timer_disabled_records_nothing():
+    registry = MetricsRegistry()
+    with registry.timer("t"):
+        pass
+    assert registry.histogram("t").count == 0
+
+
+def test_reset_zeroes_everything():
+    registry = _enabled_registry()
+    registry.counter("c").inc(3)
+    registry.histogram("h").observe(1.0)
+    registry.reset()
+    assert registry.counter("c").value == 0
+    assert registry.histogram("h").count == 0
+    assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+
+def test_snapshot_shape():
+    registry = _enabled_registry()
+    registry.counter("c").inc()
+    registry.histogram("h").observe(2.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"c": 1}
+    assert snapshot["histograms"]["h"]["count"] == 1
+
+
+def test_enable_disable_idempotent():
+    registry = MetricsRegistry()
+    registry.enable()
+    registry.enable()
+    assert registry.enabled
+    registry.disable()
+    registry.disable()
+    assert not registry.enabled

@@ -1,0 +1,87 @@
+"""Observability must not change what the engine stores.
+
+Two pins:
+
+* With instrumentation disabled (the default), every campaign
+  configuration produces a storage image byte-identical to the seed —
+  the golden SHA-256 hashes below were captured before the
+  observability layer existed.
+* With instrumentation *enabled*, the image is still byte-identical
+  (wrappers only count; all randomness is deterministic), and the
+  primitive counters actually populate.
+"""
+
+import hashlib
+
+import pytest
+
+from repro import observability
+from repro.engine.storage import dump_database
+from repro.robustness.campaign import build_campaign_db, default_campaign_configs
+
+# SHA-256 of dump_database(build_campaign_db(config, rows=8)) from the
+# pre-observability seed.  A mismatch means instrumentation (or any
+# other change) altered stored bytes — a regression, not a refresh.
+GOLDEN_IMAGE_SHA256 = {
+    "plaintext baseline": (
+        "5558ac16be6184af19bd5b587f62fd8686c3e050ecbde5edea8f161920a2aca2"
+    ),
+    "[3] XOR-Scheme": (
+        "8e44dd92488084fd6feaf1ebaca0aa451030006e892c8b6c7bb9c4942ccd05a9"
+    ),
+    "[3] Append-Scheme": (
+        "acbfe2ed4970d0d64868a84d24f33300b10e0c02436199efb109caddd06e6f3a"
+    ),
+    "[12] index (+append cells)": (
+        "e6e98facea96af768c54275d2450def1cfb2deea47906fc8477c8651aedda9d1"
+    ),
+    "fixed AEAD (EAX)": (
+        "be9c50aed785047e0fc90731649efb827e97bbad32c84a68f4858e8ca0f7f619"
+    ),
+    "fixed AEAD (OCB)": (
+        "19eda942818801680b21c6d8c99edf58a796c9483e0985e10d6eb4018902014a"
+    ),
+}
+
+
+@pytest.fixture(autouse=True)
+def _global_observability():
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+def _image(config) -> bytes:
+    return dump_database(build_campaign_db(config, 8))
+
+
+@pytest.mark.parametrize(
+    "label, config",
+    default_campaign_configs(),
+    ids=[label for label, _ in default_campaign_configs()],
+)
+def test_disabled_images_match_seed(label, config):
+    digest = hashlib.sha256(_image(config)).hexdigest()
+    assert digest == GOLDEN_IMAGE_SHA256[label]
+
+
+def test_enabled_image_is_byte_identical_and_counters_populate():
+    label, config = next(
+        (lbl, cfg)
+        for lbl, cfg in default_campaign_configs()
+        if lbl == "fixed AEAD (EAX)"
+    )
+    disabled_image = _image(config)
+
+    observability.enable()
+    enabled_image = _image(config)
+    counters = observability.REGISTRY.counters()
+    observability.disable()
+
+    assert enabled_image == disabled_image
+    assert hashlib.sha256(enabled_image).hexdigest() == GOLDEN_IMAGE_SHA256[label]
+    assert counters["cipher.aes-128.encrypt_blocks"] > 0
+    assert counters["aead.eax.encrypts"] > 0
+    assert counters["db.insert.calls"] == 8

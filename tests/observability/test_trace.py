@@ -1,0 +1,84 @@
+"""Span tracing: nesting, the disabled fast path, and the bounded ring."""
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import _NULL_SPAN, Tracer
+
+
+def _tracer(max_spans: int = 100) -> Tracer:
+    registry = MetricsRegistry()
+    registry.enable()
+    return Tracer(registry, max_spans=max_spans)
+
+
+def test_disabled_tracer_returns_shared_null_span():
+    tracer = Tracer(MetricsRegistry())
+    span = tracer.span("anything", key="value")
+    assert span is _NULL_SPAN
+    with span as inner:
+        inner.set_attribute("k", 1)  # absorbed silently
+    assert tracer.finished() == []
+
+
+def test_span_records_name_attributes_duration():
+    tracer = _tracer()
+    with tracer.span("query.point", table="t", column="c"):
+        pass
+    (span,) = tracer.finished()
+    assert span.name == "query.point"
+    assert span.attributes == {"table": "t", "column": "c"}
+    assert span.duration is not None and span.duration >= 0.0
+    assert span.parent is None
+
+
+def test_nested_spans_record_parent():
+    tracer = _tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    finished = {span.name: span for span in tracer.finished()}
+    assert finished["inner"].parent == "outer"
+    assert finished["outer"].parent is None
+
+
+def test_set_attribute_after_open():
+    tracer = _tracer()
+    with tracer.span("op") as span:
+        span.set_attribute("rows", 7)
+    (finished,) = tracer.finished()
+    assert finished.attributes["rows"] == 7
+
+
+def test_ring_drops_oldest_half_when_full():
+    tracer = _tracer(max_spans=10)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.finished()) == 10
+    with tracer.span("overflow"):
+        pass
+    names = [span.name for span in tracer.finished()]
+    assert len(names) == 6  # kept half (5) + the new one
+    assert names[-1] == "overflow"
+    assert "s0" not in names and "s9" in names
+    assert tracer.dropped == 5
+
+
+def test_reset_clears_ring_and_dropped():
+    tracer = _tracer(max_spans=4)
+    for i in range(6):
+        with tracer.span(f"s{i}"):
+            pass
+    tracer.reset()
+    assert tracer.finished() == []
+    assert tracer.dropped == 0
+
+
+def test_snapshot_is_json_shaped():
+    tracer = _tracer()
+    with tracer.span("op", n=1):
+        pass
+    (entry,) = tracer.snapshot()
+    assert entry["name"] == "op"
+    assert entry["attributes"] == {"n": 1}
+    assert entry["parent"] is None
+    assert entry["duration_seconds"] >= 0.0

@@ -3,7 +3,6 @@
 import hashlib
 import hmac as stdlib_hmac
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

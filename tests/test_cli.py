@@ -1,6 +1,5 @@
 """The ``python -m repro`` command-line driver."""
 
-import pytest
 
 from repro.__main__ import main
 
@@ -54,10 +53,70 @@ def test_faultcampaign_rejects_unknown_argument(capsys):
     assert main(["faultcampaign", "--bogus"]) == 2
 
 
+def test_faultcampaign_rejects_non_integer_seeds(capsys):
+    assert main(["faultcampaign", "--seeds", "abc"]) == 2
+    captured = capsys.readouterr()
+    assert "must be an integer" in captured.err
+    assert "Commands" in captured.out  # usage text, not a traceback
+
+
+def test_collisions_rejects_non_integer_count(capsys):
+    assert main(["collisions", "abc"]) == 2
+    captured = capsys.readouterr()
+    assert "must be an integer" in captured.err
+    assert "Commands" in captured.out
+
+
+def test_collisions_rejects_extra_arguments(capsys):
+    assert main(["collisions", "1", "2"]) == 2
+
+
 def test_unknown_command(capsys):
     assert main(["frobnicate"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown command" in captured.err
+    assert "Commands" in captured.out
 
 
 def test_no_command(capsys):
     assert main([]) == 2
     assert "Commands" in capsys.readouterr().out
+
+
+def test_bench_quick_single_scenario(tmp_path, capsys):
+    out = tmp_path / "BENCH_cli.json"
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "bench (quick profile): OK" in captured.out
+    assert out.exists()
+
+    import json
+
+    from repro.bench import validate_report
+
+    assert validate_report(json.loads(out.read_text())) == []
+
+
+def test_bench_rejects_unknown_scenario(capsys):
+    assert main(["bench", "--quick", "--scenarios", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bench_rejects_unknown_flag(capsys):
+    assert main(["bench", "--frobnicate"]) == 2
+    assert "unknown bench argument" in capsys.readouterr().err
+
+
+def test_bench_rejects_empty_scenario_list(capsys):
+    assert main(["bench", "--quick", "--scenarios="]) == 2
+    assert "no scenarios selected" in capsys.readouterr().err
+
+
+def test_bench_rejects_missing_flag_values(capsys):
+    assert main(["bench", "--scenarios"]) == 2
+    assert "--scenarios requires a value" in capsys.readouterr().err
+    assert main(["bench", "--out"]) == 2
+    assert "--out requires a value" in capsys.readouterr().err
+    assert main(["faultcampaign", "--seeds"]) == 2
+    assert "--seeds requires a value" in capsys.readouterr().err

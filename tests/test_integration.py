@@ -151,8 +151,6 @@ class TestPaperStoryline:
         assert forge_append_cell(
             broken, broken.storage_view(), "documents", 0, 1, "body"
         ).is_existential_forgery
-        from repro.attacks.forgery import ForgeryResult
-
         fixed_result = forge_append_cell(
             fixed, fixed.storage_view(), "documents", 0, 1, "body"
         )

@@ -1,11 +1,9 @@
 """The pre-packaged dataset builders."""
 
-import pytest
 
 from repro.core.encrypted_db import EncryptionConfig
 from repro.engine.query import PointQuery
 from repro.workloads.datasets import (
-    DOCUMENTS_SCHEMA,
     PATIENTS_SCHEMA,
     build_documents_db,
     build_patients_db,
