@@ -16,7 +16,23 @@ Commands:
   benchmark harness over every scheme configuration, write a
   ``BENCH_<n>.json`` artifact (auto-numbered unless ``--out`` names a
   path), and exit non-zero if any measured count diverges from the
-  paper's Sect. 4 cost model.
+  paper's Sect. 4 cost model.  With ``--baseline BENCH_<n>.json``
+  additionally compare per-scenario wall time and cipher counts
+  against that report (``--threshold F`` sets the fractional wall-time
+  tolerance, default 0.25; ``--delta-out PATH`` writes the comparison
+  document) and exit non-zero on regression.
+* ``audit <log.jsonl> [--metrics-jsonl PATH] [--metrics-prom PATH]`` —
+  replay a security audit log through the streaming leakage monitor
+  and print the six probe verdicts; optionally export the ``leak.*``
+  metric snapshot as JSONL or Prometheus text.
+* ``audit --live [--configs slug,...] [--log-dir DIR]`` — run the
+  seeded leakage workload with the audit log attached for each named
+  configuration (default: all six; slugs: plain, xor, append,
+  dbsec2005, aead-eax, aead-ocb), cross-validate the streaming
+  verdicts against the offline ``analysis.leakage`` matrix and against
+  a replay of the captured events, and exit non-zero on any mismatch.
+  ``--log-dir`` persists per-configuration event logs and metric
+  snapshots.
 """
 
 from __future__ import annotations
@@ -183,40 +199,70 @@ def _collisions(argv: list[str]) -> int:
     return 0
 
 
+def _flag_value(arg: str, args: list[str], flag: str) -> str:
+    """Value of ``--flag value`` / ``--flag=value`` (shared convention)."""
+    if arg == flag:
+        if not args:
+            raise UsageError(f"{flag} requires a value")
+        return args.pop(0)
+    return arg.split("=", 1)[1]
+
+
+def _parse_float(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise UsageError(f"{what} must be a number, got {text!r}") from None
+
+
 def _bench(argv: list[str]) -> int:
     from repro.bench import (
+        DEFAULT_WALL_THRESHOLD,
+        compare_reports,
         divergences,
+        load_report,
         next_bench_path,
         run_bench,
         summarize,
+        summarize_comparison,
         write_report,
     )
 
     quick = False
     scenario_names: list[str] | None = None
     out: str | None = None
+    baseline_path: str | None = None
+    threshold = DEFAULT_WALL_THRESHOLD
+    delta_out: str | None = None
     args = list(argv)
     while args:
         arg = args.pop(0)
         if arg == "--quick":
             quick = True
         elif arg == "--scenarios" or arg.startswith("--scenarios="):
-            if arg == "--scenarios":
-                if not args:
-                    raise UsageError("--scenarios requires a value")
-                value = args.pop(0)
-            else:
-                value = arg.split("=", 1)[1]
+            value = _flag_value(arg, args, "--scenarios")
             scenario_names = [s for s in value.split(",") if s]
         elif arg == "--out" or arg.startswith("--out="):
-            if arg == "--out":
-                if not args:
-                    raise UsageError("--out requires a value")
-                out = args.pop(0)
-            else:
-                out = arg.split("=", 1)[1]
+            out = _flag_value(arg, args, "--out")
+        elif arg == "--baseline" or arg.startswith("--baseline="):
+            baseline_path = _flag_value(arg, args, "--baseline")
+        elif arg == "--threshold" or arg.startswith("--threshold="):
+            threshold = _parse_float(
+                _flag_value(arg, args, "--threshold"), "--threshold"
+            )
+        elif arg == "--delta-out" or arg.startswith("--delta-out="):
+            delta_out = _flag_value(arg, args, "--delta-out")
         else:
             raise UsageError(f"unknown bench argument {arg!r}")
+    if threshold < 0:
+        raise UsageError("--threshold must be non-negative")
+
+    baseline = None
+    if baseline_path is not None:
+        try:
+            baseline = load_report(baseline_path)
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
 
     try:
         report = run_bench(scenario_names, quick=quick)
@@ -226,12 +272,183 @@ def _bench(argv: list[str]) -> int:
     path = write_report(report, out if out is not None else next_bench_path())
     print(summarize(report))
     print(f"report written to {path}")
+    failed = False
     if not report["ok"]:
         print()
         for failure in divergences(report):
             print(f"DIVERGENCE: {failure}", file=sys.stderr)
-        return 1
+        failed = True
+    if baseline is not None:
+        delta = compare_reports(baseline, report, wall_threshold=threshold)
+        print()
+        print(summarize_comparison(delta))
+        if delta_out is not None:
+            import json as _json
+            from pathlib import Path as _Path
+
+            _Path(delta_out).write_text(
+                _json.dumps(delta, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"delta report written to {delta_out}")
+        if not delta["ok"]:
+            print()
+            for regression in delta["regressions"]:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+def _audit_replay(
+    log_path: str, metrics_jsonl: str | None, metrics_prom: str | None
+) -> int:
+    from repro.analysis.report import format_table
+    from repro.observability import AuditError, LeakMonitor, read_events, write_snapshot
+    from repro.observability.leakmon import PROBES
+
+    try:
+        events = read_events(log_path)
+    except AuditError as exc:
+        raise UsageError(str(exc)) from None
+    monitor = LeakMonitor()
+    monitor.feed_all(events)
+    verdicts = monitor.verdicts()
+    print(f"replayed {len(events)} events from {log_path}")
+    print(
+        format_table(
+            ["probe", "leaked"],
+            [[probe, verdicts[probe]] for probe in PROBES],
+            caption="streaming leakage verdicts",
+        )
+    )
+    counters = monitor.registry.snapshot()["counters"]
+    for name in sorted(counters):
+        if name.startswith("leak.") and name != "leak.events":
+            print(f"  {name} = {counters[name]}")
+    written = write_snapshot(
+        monitor.registry.snapshot(),
+        jsonl_path=metrics_jsonl,
+        prometheus_path=metrics_prom,
+    )
+    for path in written:
+        print(f"metrics written to {path}")
     return 0
+
+
+def _audit_live(config_slugs: list[str] | None, log_dir: str | None) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import format_table
+    from repro.observability import LeakMonitor, write_snapshot
+    from repro.observability.leakmon import CONFIG_SLUGS, PROBES, run_live_profile
+    from repro.robustness.campaign import default_campaign_configs
+
+    if config_slugs is None:
+        config_slugs = list(CONFIG_SLUGS)
+    unknown = [slug for slug in config_slugs if slug not in CONFIG_SLUGS]
+    if unknown:
+        raise UsageError(
+            f"unknown configuration slug(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(CONFIG_SLUGS)}"
+        )
+    if not config_slugs:
+        raise UsageError(
+            f"no configurations selected; available: {', '.join(CONFIG_SLUGS)}"
+        )
+    directory = None
+    if log_dir is not None:
+        directory = Path(log_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    configs = dict(default_campaign_configs())
+    rows = []
+    mismatches = []
+    for slug in config_slugs:
+        label = CONFIG_SLUGS[slug]
+        sink = directory / f"audit-{slug}.jsonl" if directory else None
+        monitor, events, offline = run_live_profile(
+            configs[label], label, sink_path=sink
+        )
+        streaming = monitor.verdicts()
+        replayed = LeakMonitor()
+        replayed.feed_all(events)
+        replay_verdicts = replayed.verdicts()
+        agree = streaming == offline == replay_verdicts
+        rows.append(
+            [label, len(events)]
+            + [streaming[probe] for probe in PROBES]
+            + [agree]
+        )
+        if not agree:
+            for probe in PROBES:
+                if not (
+                    streaming[probe] == offline[probe] == replay_verdicts[probe]
+                ):
+                    mismatches.append(
+                        f"{label}/{probe}: offline={offline[probe]} "
+                        f"streaming={streaming[probe]} replay={replay_verdicts[probe]}"
+                    )
+        if directory is not None:
+            write_snapshot(
+                monitor.registry.snapshot(),
+                jsonl_path=directory / f"metrics-{slug}.jsonl",
+                prometheus_path=directory / f"metrics-{slug}.prom",
+            )
+    print(
+        format_table(
+            ["configuration", "events", *PROBES, "matches offline"],
+            rows,
+            caption="streaming leakage monitor vs offline analysis.leakage",
+        )
+    )
+    if directory is not None:
+        print(f"event logs and metric snapshots written to {directory}/")
+    if mismatches:
+        print()
+        for mismatch in mismatches:
+            print(f"MISMATCH: {mismatch}", file=sys.stderr)
+        return 1
+    print("streaming verdicts agree with the offline matrix "
+          "(live and replayed) for every configuration")
+    return 0
+
+
+def _audit(argv: list[str]) -> int:
+    live = False
+    config_slugs: list[str] | None = None
+    log_dir: str | None = None
+    log_path: str | None = None
+    metrics_jsonl: str | None = None
+    metrics_prom: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--live":
+            live = True
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg == "--log-dir" or arg.startswith("--log-dir="):
+            log_dir = _flag_value(arg, args, "--log-dir")
+        elif arg == "--metrics-jsonl" or arg.startswith("--metrics-jsonl="):
+            metrics_jsonl = _flag_value(arg, args, "--metrics-jsonl")
+        elif arg == "--metrics-prom" or arg.startswith("--metrics-prom="):
+            metrics_prom = _flag_value(arg, args, "--metrics-prom")
+        elif arg.startswith("--"):
+            raise UsageError(f"unknown audit argument {arg!r}")
+        elif log_path is None:
+            log_path = arg
+        else:
+            raise UsageError("audit takes at most one log path")
+
+    if live:
+        if log_path is not None:
+            raise UsageError("--live runs a workload; it does not take a log path")
+        return _audit_live(config_slugs, log_dir)
+    if log_path is None:
+        raise UsageError("audit requires a log path (or --live)")
+    if config_slugs is not None or log_dir is not None:
+        raise UsageError("--configs/--log-dir only apply to audit --live")
+    return _audit_replay(log_path, metrics_jsonl, metrics_prom)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -253,6 +470,8 @@ def main(argv: list[str] | None = None) -> int:
             return _faultcampaign(rest)
         if command == "bench":
             return _bench(rest)
+        if command == "audit":
+            return _audit(rest)
     except UsageError as exc:
         print(f"error: {exc}\n", file=sys.stderr)
         print(__doc__)

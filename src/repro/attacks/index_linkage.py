@@ -36,7 +36,9 @@ def _index_value_ciphertexts(
     """(r_I, value-ciphertext) for every index entry, using only public
     knowledge of the entry framing."""
     structure = storage.index_structure(index_name)
-    codec = structure.codec
+    # Audit wrappers are byte-transparent; the adversary classifies the
+    # *scheme*, so look through them at the real codec.
+    codec = getattr(structure.codec, "unwrapped", structure.codec)
     out = []
     for row_id, payload in storage.index_payloads(index_name):
         if isinstance(codec, DBSec2005IndexCodec):

@@ -68,7 +68,7 @@ def forge_entry_via_mac_interaction(
     ``value_length`` is the adversary's (public) lower bound on |V|;
     ``replacement`` seeds the arbitrary blocks C'_1..C'_{s-1}.
     """
-    codec = index.codec
+    codec = getattr(index.codec, "unwrapped", index.codec)
     if not isinstance(codec, DBSec2005IndexCodec):
         raise TypeError("this attack targets the [12] entry format")
     row = index.row(row_id)

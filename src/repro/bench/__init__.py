@@ -8,16 +8,24 @@ from repro.bench.harness import (
     summarize,
 )
 from repro.bench.report import (
+    DEFAULT_WALL_THRESHOLD,
+    DELTA_SCHEMA,
     SCHEMA,
     build_report,
+    compare_reports,
     divergences,
+    load_report,
     next_bench_path,
+    scenario_cipher_calls,
+    summarize_comparison,
     validate_report,
     write_report,
 )
 from repro.bench.scenarios import SCENARIOS, ScenarioResult, SizeProfile
 
 __all__ = [
+    "DEFAULT_WALL_THRESHOLD",
+    "DELTA_SCHEMA",
     "SCENARIOS",
     "SCHEMA",
     "ScenarioResult",
@@ -25,10 +33,14 @@ __all__ = [
     "build_report",
     "check_invocation_formulas",
     "check_storage_overhead",
+    "compare_reports",
     "divergences",
+    "load_report",
     "next_bench_path",
     "run_bench",
+    "scenario_cipher_calls",
     "summarize",
+    "summarize_comparison",
     "validate_report",
     "write_report",
 ]

@@ -19,7 +19,7 @@ from repro.analysis.overhead import (
     measure_storage_overhead,
     paper_invocation_formula,
 )
-from repro.bench.report import build_report
+from repro.bench.report import build_report, scenario_cipher_calls
 from repro.bench.scenarios import (
     REQUIRES_TYPED_READS,
     SCENARIOS,
@@ -179,11 +179,7 @@ def summarize(report: dict) -> str:
                 f"skipped: {entry['skipped']}"
             )
             continue
-        cipher_calls = sum(
-            value
-            for counter, value in entry["counters"].items()
-            if counter.startswith("cipher.")
-        )
+        cipher_calls = scenario_cipher_calls(entry)
         rate = entry["ops_per_second"]
         check = entry.get("paper_check")
         suffix = ""

@@ -18,6 +18,13 @@ from pathlib import Path
 
 SCHEMA = "repro-bench/1"
 
+#: Schema of the comparison artifact ``compare_reports`` produces.
+DELTA_SCHEMA = "repro-bench-delta/1"
+
+#: Default wall-time regression threshold: fail when a scenario gets
+#: more than 25 % slower than the baseline.
+DEFAULT_WALL_THRESHOLD = 0.25
+
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -99,6 +106,131 @@ def validate_report(report: dict) -> list[str]:
             if not isinstance(check, dict) or not isinstance(check.get("ok"), bool):
                 problems.append(f"paper_checks[{name!r}] missing boolean 'ok'")
     return problems
+
+
+def scenario_cipher_calls(entry: dict) -> int:
+    """Total blockcipher invocations one scenario entry recorded."""
+    return sum(
+        value
+        for counter, value in (entry.get("counters") or {}).items()
+        if counter.startswith("cipher.")
+    )
+
+
+def load_report(path: str | Path) -> dict:
+    """Read and validate a report file; raises ValueError on problems."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline report {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc.msg}") from None
+    problems = validate_report(document)
+    if problems:
+        raise ValueError(f"{path} is not a valid bench report: {problems[0]}")
+    return document
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> dict:
+    """Per-scenario deltas of ``current`` against ``baseline``.
+
+    Wall-time regressions are gated by ``wall_threshold`` (fractional
+    slowdown) and only judged when both reports ran the same size
+    profile — quick-vs-full timings are not comparable.  Cipher counts
+    are deterministic per profile, so under matching profiles *any*
+    increase is a regression.
+    """
+    profiles_match = baseline.get("quick") == current.get("quick")
+
+    def keyed(report: dict) -> dict:
+        return {
+            (entry["scenario"], entry["config"]): entry
+            for entry in report.get("scenarios", [])
+            if not entry.get("skipped")
+        }
+
+    base_entries, current_entries = keyed(baseline), keyed(current)
+    entries = []
+    regressions = []
+    for key in sorted(base_entries.keys() & current_entries.keys()):
+        base, now = base_entries[key], current_entries[key]
+        wall_base, wall_now = base["wall_seconds"], now["wall_seconds"]
+        cipher_base = scenario_cipher_calls(base)
+        cipher_now = scenario_cipher_calls(now)
+        wall_ratio = (wall_now / wall_base) if wall_base else None
+        entry = {
+            "scenario": key[0],
+            "config": key[1],
+            "wall_seconds_baseline": wall_base,
+            "wall_seconds": wall_now,
+            "wall_ratio": wall_ratio,
+            "cipher_calls_baseline": cipher_base,
+            "cipher_calls": cipher_now,
+            "cipher_delta": cipher_now - cipher_base,
+        }
+        reasons = []
+        if profiles_match:
+            if wall_ratio is not None and wall_ratio > 1.0 + wall_threshold:
+                reasons.append(
+                    f"wall time {wall_now:.4f}s is {wall_ratio:.2f}x baseline "
+                    f"{wall_base:.4f}s (threshold {1.0 + wall_threshold:.2f}x)"
+                )
+            if cipher_now > cipher_base:
+                reasons.append(
+                    f"cipher calls grew {cipher_base} -> {cipher_now} "
+                    f"(+{cipher_now - cipher_base})"
+                )
+        entry["regression"] = bool(reasons)
+        entries.append(entry)
+        for reason in reasons:
+            regressions.append(f"{key[0]}/{key[1]}: {reason}")
+    missing = sorted(base_entries.keys() - current_entries.keys())
+    for scenario, config in missing:
+        regressions.append(f"{scenario}/{config}: present in baseline, missing now")
+    return {
+        "schema": DELTA_SCHEMA,
+        "profiles_match": profiles_match,
+        "wall_threshold": wall_threshold,
+        "baseline_quick": baseline.get("quick"),
+        "current_quick": current.get("quick"),
+        "entries": entries,
+        "missing_scenarios": [list(key) for key in missing],
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def summarize_comparison(delta: dict) -> str:
+    """Terminal-friendly digest of one comparison document."""
+    lines = []
+    status = "OK" if delta["ok"] else "REGRESSED"
+    lines.append(
+        f"baseline comparison: {status} "
+        f"(wall threshold {delta['wall_threshold'] * 100:.0f}%)"
+    )
+    if not delta["profiles_match"]:
+        lines.append(
+            "  note: baseline and current ran different size profiles — "
+            "deltas reported, regressions not judged"
+        )
+    lines.append(
+        f"  {'scenario':<16} {'configuration':<24} "
+        f"{'wall Δ':>8} {'cipher Δ':>9}"
+    )
+    for entry in delta["entries"]:
+        ratio = entry["wall_ratio"]
+        wall = f"{(ratio - 1.0) * 100:+.0f}%" if ratio is not None else "n/a"
+        mark = "  REGRESSION" if entry["regression"] else ""
+        lines.append(
+            f"  {entry['scenario']:<16} {entry['config']:<24} "
+            f"{wall:>8} {entry['cipher_delta']:>+9d}{mark}"
+        )
+    return "\n".join(lines)
 
 
 def divergences(report: dict) -> list[str]:

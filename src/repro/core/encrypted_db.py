@@ -44,6 +44,9 @@ from repro.mac.omac import OMAC
 from repro.modes.base import RandomIV, ZeroIV
 from repro.modes.cbc import CBC
 from repro.observability import (
+    maybe_audit_cell_codec,
+    maybe_audit_index_codec,
+    maybe_audit_mac,
     maybe_instrument_aead,
     maybe_instrument_cipher,
     maybe_instrument_mac,
@@ -213,6 +216,11 @@ class EncryptedDatabase(Database):
         return CBC(cipher, RandomIV(self._rng.fork("cbc-iv")))
 
     def _build_cell_codec(self) -> CellCodec:
+        # The audit wrapper is a byte-exact pass-through (and a no-op
+        # unless AUDIT is enabled at construction), like maybe_instrument_*.
+        return maybe_audit_cell_codec(self._make_cell_codec())
+
+    def _make_cell_codec(self) -> CellCodec:
         scheme = self.config.cell_scheme
         if scheme == "plain":
             return PlainCellCodec()
@@ -240,6 +248,16 @@ class EncryptedDatabase(Database):
     def _build_index_codec(
         self, index_table_id: int, table_id: int, column_pos: int
     ) -> IndexEntryCodec:
+        return maybe_audit_index_codec(
+            self._make_index_codec(index_table_id, table_id, column_pos),
+            index_table_id,
+            table_id,
+            column_pos,
+        )
+
+    def _make_index_codec(
+        self, index_table_id: int, table_id: int, column_pos: int
+    ) -> IndexEntryCodec:
         scheme = self.config.index_scheme
         if scheme == "plain":
             return PlainEntryCodec()
@@ -253,6 +271,7 @@ class EncryptedDatabase(Database):
                 mac = maybe_instrument_mac(
                     OMAC(self._legacy_cipher(self.keys.index_mac_key()))
                 )
+            mac = maybe_audit_mac(mac)
             return DBSec2005IndexCodec(
                 self._mode(self._legacy_key()),
                 mac,

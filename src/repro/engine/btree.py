@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
+from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
 
 NO_REF = -1
@@ -424,6 +425,8 @@ class BPlusTree:
 
     def _observe(self, node_id: int) -> None:
         _BTREE_NODES_READ.inc()
+        if _AUDIT.enabled:
+            _AUDIT.emit("index.node_read", index=self.index_table_id, node=node_id)
         if self.observer is not None:
             self.observer(node_id)
 

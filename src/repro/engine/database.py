@@ -27,6 +27,7 @@ from repro.engine.schema import ColumnType, TableSchema
 from repro.engine.table import CellAddress, Table
 from repro.errors import NoSuchIndexError, NoSuchTableError, SchemaError
 from repro.observability import timed
+from repro.observability.audit import AUDIT
 
 
 class CellCodec(ABC):
@@ -285,30 +286,42 @@ class Database:
         self, table_name: str, column_name: str, value: Any
     ) -> list[tuple[int, list[Any]]]:
         """Point query; uses an index when one exists, else a verified scan."""
-        table = self.table(table_name)
-        column = table.schema.column(column_name)
-        key = column.encode(value)
-        indexes = self.indexes_on(table_name, column_name)
-        if indexes:
-            row_ids = indexes[0].structure.search(key)
-            return [(row_id, self.get_row(table_name, row_id)) for row_id in row_ids]
-        return self._scan_filter(table_name, column_name, lambda cell: cell == key)
+        AUDIT.emit("query.begin", op="point", table=table_name, column=column_name)
+        try:
+            table = self.table(table_name)
+            column = table.schema.column(column_name)
+            key = column.encode(value)
+            indexes = self.indexes_on(table_name, column_name)
+            if indexes:
+                row_ids = indexes[0].structure.search(key)
+                return [
+                    (row_id, self.get_row(table_name, row_id)) for row_id in row_ids
+                ]
+            return self._scan_filter(table_name, column_name, lambda cell: cell == key)
+        finally:
+            AUDIT.emit("query.end", op="point")
 
     @timed("db.query.range")
     def select_range(
         self, table_name: str, column_name: str, low: Any, high: Any
     ) -> list[tuple[int, list[Any]]]:
         """Range query (inclusive); index-backed when possible."""
-        table = self.table(table_name)
-        column = table.schema.column(column_name)
-        low_key, high_key = column.encode(low), column.encode(high)
-        indexes = self.indexes_on(table_name, column_name)
-        if indexes:
-            hits = indexes[0].structure.range_search(low_key, high_key)
-            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
-        return self._scan_filter(
-            table_name, column_name, lambda cell: low_key <= cell <= high_key
-        )
+        AUDIT.emit("query.begin", op="range", table=table_name, column=column_name)
+        try:
+            table = self.table(table_name)
+            column = table.schema.column(column_name)
+            low_key, high_key = column.encode(low), column.encode(high)
+            indexes = self.indexes_on(table_name, column_name)
+            if indexes:
+                hits = indexes[0].structure.range_search(low_key, high_key)
+                return [
+                    (row_id, self.get_row(table_name, row_id)) for _, row_id in hits
+                ]
+            return self._scan_filter(
+                table_name, column_name, lambda cell: low_key <= cell <= high_key
+            )
+        finally:
+            AUDIT.emit("query.end", op="range")
 
     @timed("db.query.prefix")
     def select_prefix(
@@ -322,52 +335,70 @@ class Database:
         """
         from repro.engine.schema import ColumnType
 
-        table = self.table(table_name)
-        column = table.schema.column(column_name)
-        if column.type is not ColumnType.TEXT:
-            raise SchemaError("prefix queries require a TEXT column")
-        low_key = prefix.encode("utf-8")
-        high_key = low_key + b"\xff" * 8
-        indexes = self.indexes_on(table_name, column_name)
-        if indexes:
-            hits = indexes[0].structure.range_search(low_key, high_key)
-            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
-        return self._scan_filter(
-            table_name, column_name, lambda cell: cell.startswith(low_key)
-        )
+        AUDIT.emit("query.begin", op="prefix", table=table_name, column=column_name)
+        try:
+            table = self.table(table_name)
+            column = table.schema.column(column_name)
+            if column.type is not ColumnType.TEXT:
+                raise SchemaError("prefix queries require a TEXT column")
+            low_key = prefix.encode("utf-8")
+            high_key = low_key + b"\xff" * 8
+            indexes = self.indexes_on(table_name, column_name)
+            if indexes:
+                hits = indexes[0].structure.range_search(low_key, high_key)
+                return [
+                    (row_id, self.get_row(table_name, row_id)) for _, row_id in hits
+                ]
+            return self._scan_filter(
+                table_name, column_name, lambda cell: cell.startswith(low_key)
+            )
+        finally:
+            AUDIT.emit("query.end", op="prefix")
 
     @timed("db.query.at_least")
     def select_at_least(
         self, table_name: str, column_name: str, low: Any
     ) -> list[tuple[int, list[Any]]]:
         """Open-ended range query: ``column >= low``."""
-        table = self.table(table_name)
-        column = table.schema.column(column_name)
-        low_key = column.encode(low)
-        high_key = b"\xff" * max(len(low_key) + 8, 16)
-        indexes = self.indexes_on(table_name, column_name)
-        if indexes:
-            hits = indexes[0].structure.range_search(low_key, high_key)
-            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
-        return self._scan_filter(
-            table_name, column_name, lambda cell: cell >= low_key
-        )
+        AUDIT.emit("query.begin", op="at_least", table=table_name, column=column_name)
+        try:
+            table = self.table(table_name)
+            column = table.schema.column(column_name)
+            low_key = column.encode(low)
+            high_key = b"\xff" * max(len(low_key) + 8, 16)
+            indexes = self.indexes_on(table_name, column_name)
+            if indexes:
+                hits = indexes[0].structure.range_search(low_key, high_key)
+                return [
+                    (row_id, self.get_row(table_name, row_id)) for _, row_id in hits
+                ]
+            return self._scan_filter(
+                table_name, column_name, lambda cell: cell >= low_key
+            )
+        finally:
+            AUDIT.emit("query.end", op="at_least")
 
     @timed("db.query.at_most")
     def select_at_most(
         self, table_name: str, column_name: str, high: Any
     ) -> list[tuple[int, list[Any]]]:
         """Open-ended range query: ``column <= high``."""
-        table = self.table(table_name)
-        column = table.schema.column(column_name)
-        high_key = column.encode(high)
-        indexes = self.indexes_on(table_name, column_name)
-        if indexes:
-            hits = indexes[0].structure.range_search(b"", high_key)
-            return [(row_id, self.get_row(table_name, row_id)) for _, row_id in hits]
-        return self._scan_filter(
-            table_name, column_name, lambda cell: cell <= high_key
-        )
+        AUDIT.emit("query.begin", op="at_most", table=table_name, column=column_name)
+        try:
+            table = self.table(table_name)
+            column = table.schema.column(column_name)
+            high_key = column.encode(high)
+            indexes = self.indexes_on(table_name, column_name)
+            if indexes:
+                hits = indexes[0].structure.range_search(b"", high_key)
+                return [
+                    (row_id, self.get_row(table_name, row_id)) for _, row_id in hits
+                ]
+            return self._scan_filter(
+                table_name, column_name, lambda cell: cell <= high_key
+            )
+        finally:
+            AUDIT.emit("query.end", op="at_most")
 
     def scan(self, table_name: str) -> Iterator[tuple[int, list[Any]]]:
         """Full decoded scan of a table."""

@@ -23,6 +23,7 @@ from typing import Iterator
 
 from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
+from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
 
 #: Sentinel "no reference" value stored in structural columns.
@@ -356,6 +357,8 @@ class IndexTable:
         )
 
     def _observe(self, row_id: int) -> None:
+        if _AUDIT.enabled:
+            _AUDIT.emit("index.node_read", index=self.index_table_id, node=row_id)
         if self.observer is not None:
             self.observer(row_id)
 

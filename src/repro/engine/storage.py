@@ -23,6 +23,7 @@ from repro.engine.indextable import IndexRow, IndexTable
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.errors import StorageFormatError
 from repro.observability import timed
+from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
 
 _MAGIC = b"REPRODB1"
@@ -167,6 +168,12 @@ def dump_database(db: Database) -> bytes:
             _dump_btree(out, structure)
     image = out.getvalue()
     _METRICS.histogram("storage.image_bytes").observe(len(image))
+    _AUDIT.emit(
+        "storage.dump",
+        bytes=len(image),
+        tables=len(db.table_names),
+        indexes=len(db.index_names),
+    )
     return image
 
 
@@ -237,6 +244,12 @@ def load_database(
             f"{reader.remaining} trailing byte(s) after the last index record",
             offset=reader.offset,
         )
+    _AUDIT.emit(
+        "storage.load",
+        bytes=len(image),
+        tables=len(db.table_names),
+        indexes=len(db.index_names),
+    )
     return db
 
 

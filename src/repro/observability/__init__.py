@@ -10,9 +10,26 @@ Off by default.  Typical benchmark usage::
     print(observability.REGISTRY.snapshot())
     observability.disable()
 
-See ``docs/observability.md`` for the metric catalogue.
+See ``docs/observability.md`` for the metric catalogue and
+``docs/audit.md`` for the security-event audit log built on top.
 """
 
+from repro.observability.audit import (
+    AUDIT,
+    AuditError,
+    AuditLog,
+    canonical_lines,
+    maybe_audit_cell_codec,
+    maybe_audit_index_codec,
+    maybe_audit_mac,
+    read_events,
+    write_events,
+)
+from repro.observability.export import (
+    render_jsonl,
+    render_prometheus,
+    write_snapshot,
+)
 from repro.observability.instrument import (
     InstrumentedAEAD,
     InstrumentedCipher,
@@ -29,6 +46,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     Timer,
 )
+from repro.observability.leakmon import PROBES, LeakMonitor, run_live_profile
 from repro.observability.trace import TRACER, Span, Tracer
 
 
@@ -53,23 +71,38 @@ def reset() -> None:
 
 
 __all__ = [
+    "AUDIT",
+    "PROBES",
     "REGISTRY",
     "TRACER",
+    "AuditError",
+    "AuditLog",
     "Counter",
     "Histogram",
     "InstrumentedAEAD",
     "InstrumentedCipher",
     "InstrumentedMAC",
+    "LeakMonitor",
     "MetricsRegistry",
     "Span",
     "Timer",
     "Tracer",
+    "canonical_lines",
     "disable",
     "enable",
     "enabled",
+    "maybe_audit_cell_codec",
+    "maybe_audit_index_codec",
+    "maybe_audit_mac",
     "maybe_instrument_aead",
     "maybe_instrument_cipher",
     "maybe_instrument_mac",
+    "read_events",
+    "render_jsonl",
+    "render_prometheus",
     "reset",
+    "run_live_profile",
     "timed",
+    "write_events",
+    "write_snapshot",
 ]

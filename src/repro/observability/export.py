@@ -1,0 +1,86 @@
+"""Registry-snapshot exporters: JSONL and Prometheus text format.
+
+Both render :meth:`MetricsRegistry.snapshot` (counters + histogram
+summaries, including the ``leak.*`` metrics the streaming monitor
+publishes) so CI can persist one snapshot per configuration and diff
+leakage metrics across runs without any scraping infrastructure.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram percentile keys exported as Prometheus summary quantiles.
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def metric_lines_jsonl(snapshot: dict) -> list[str]:
+    """One JSON object per metric: ``{"metric", "type", ...}``."""
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(
+            json.dumps(
+                {"metric": name, "type": "counter", "value": value},
+                sort_keys=True,
+            )
+        )
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        record = {"metric": name, "type": "histogram"}
+        record.update(summary)
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def render_jsonl(snapshot: dict) -> str:
+    return "".join(line + "\n" for line in metric_lines_jsonl(snapshot))
+
+
+def prometheus_name(name: str) -> str:
+    """``leak.equality.collisions`` → ``repro_leak_equality_collisions``."""
+    return "repro_" + _PROM_NAME.sub("_", name.replace(".", "_").replace("-", "_"))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The registry snapshot in the Prometheus text exposition format.
+
+    Counters map to ``counter`` samples; histograms map to ``summary``
+    families (quantiles from the reservoir percentiles, plus the exact
+    ``_count`` and ``_sum``).
+    """
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for key, quantile in _QUANTILES:
+            value = summary.get(key)
+            if value is not None:
+                lines.append(f'{prom}{{quantile="{quantile}"}} {value}')
+        lines.append(f"{prom}_count {summary.get('count', 0)}")
+        lines.append(f"{prom}_sum {summary.get('total', 0.0)}")
+    return "".join(line + "\n" for line in lines)
+
+
+def write_snapshot(
+    snapshot: dict,
+    jsonl_path: str | Path | None = None,
+    prometheus_path: str | Path | None = None,
+) -> list[Path]:
+    """Write the snapshot in the requested format(s); returns the paths."""
+    written = []
+    if jsonl_path is not None:
+        path = Path(jsonl_path)
+        path.write_text(render_jsonl(snapshot))
+        written.append(path)
+    if prometheus_path is not None:
+        path = Path(prometheus_path)
+        path.write_text(render_prometheus(snapshot))
+        written.append(path)
+    return written

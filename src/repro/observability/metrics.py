@@ -53,13 +53,32 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary of observed values: count, sum, min, max.
+    """Streaming summary of observed values: count, sum, min, max, and
+    percentile estimates from a fixed-size sample reservoir.
 
     Deliberately not bucketed — the bench reporter wants exact counts
-    and totals, and a fixed-size summary keeps long runs O(1) in memory.
+    and totals.  Percentiles come from uniform reservoir sampling
+    (Vitter's algorithm R) over at most :data:`RESERVOIR_SIZE` retained
+    samples, so arbitrarily long benchmark runs stay O(1) in memory; the
+    replacement index is drawn from a private 64-bit LCG, keeping the
+    process's global RNG state untouched (instrumentation must never
+    perturb the deterministic workloads it observes).
     """
 
-    __slots__ = ("name", "_registry", "_lock", "count", "total", "min", "max")
+    #: Retained samples; exact percentiles up to this many observations.
+    RESERVOIR_SIZE = 1024
+
+    __slots__ = (
+        "name",
+        "_registry",
+        "_lock",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_samples",
+        "_rng_state",
+    )
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
@@ -69,6 +88,8 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._samples: list[float] = []
+        self._rng_state = 0x9E3779B97F4A7C15
 
     def observe(self, value: float) -> None:
         """Record one sample; a no-op while the registry is disabled."""
@@ -81,10 +102,28 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if len(self._samples) < self.RESERVOIR_SIZE:
+                self._samples.append(value)
+            else:
+                self._rng_state = (
+                    self._rng_state * 6364136223846793005 + 1442695040888963407
+                ) % (1 << 64)
+                slot = self._rng_state % self.count
+                if slot < self.RESERVOIR_SIZE:
+                    self._samples[slot] = value
 
     @property
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
+
+    def percentile(self, fraction: float) -> float | None:
+        """Nearest-rank percentile estimate from the reservoir
+        (``fraction`` in [0, 1]); None before the first sample."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
 
     def reset(self) -> None:
         with self._lock:
@@ -92,6 +131,7 @@ class Histogram:
             self.total = 0.0
             self.min = None
             self.max = None
+            self._samples = []
 
     def summary(self) -> dict:
         return {
@@ -100,6 +140,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
 

@@ -51,6 +51,7 @@ from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.storage import _MAGIC, _Reader
 from repro.engine.table import Table
 from repro.errors import CryptoError, EngineError, StorageFormatError
+from repro.observability.audit import AUDIT as _AUDIT
 
 #: Per-record outcomes (the report's vocabulary, shared with docs/tests).
 OUTCOME_OK = "ok"
@@ -192,7 +193,25 @@ def load_database_resilient(
 
     survivors = _crypto_sweep(db, report)
     _settle_indexes(db, report, headers, survivors, rebuild_indexes)
+    _emit_recovery_events(report)
     return RecoveryResult(database=db, report=report)
+
+
+def _emit_recovery_events(report: RecoveryReport) -> None:
+    """Mirror quarantine decisions into the security audit log."""
+    if not _AUDIT.enabled:
+        return
+    for where, outcome in sorted(report.row_outcomes.items()):
+        if outcome != OUTCOME_OK:
+            _AUDIT.emit("recovery.row", where=where, outcome=outcome)
+    for name, outcome in sorted(report.index_outcomes.items()):
+        _AUDIT.emit("recovery.index", index=name, outcome=outcome)
+    _AUDIT.emit(
+        "recovery.report",
+        rows_recovered=report.rows_recovered,
+        rows_quarantined=report.rows_quarantined,
+        image_fully_parsed=report.image_fully_parsed,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""The security audit log: determinism, storage neutrality, hooks."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.analysis.leakage import profile_configuration
+from repro.core.encrypted_db import EncryptionConfig
+from repro.engine.storage import dump_database
+from repro.mac.hmac_mac import HMACMAC
+from repro.observability.audit import (
+    AUDIT,
+    AuditError,
+    block_digests,
+    canonical_lines,
+    maybe_audit_cell_codec,
+    maybe_audit_mac,
+    read_events,
+    write_events,
+)
+from repro.robustness.campaign import build_campaign_db, default_campaign_configs
+
+BROKEN = EncryptionConfig(cell_scheme="append", index_scheme="sdm2004")
+
+
+@pytest.fixture(autouse=True)
+def _clean_audit():
+    AUDIT.reset()
+    observability.disable()
+    observability.reset()
+    yield
+    AUDIT.reset()
+    observability.disable()
+    observability.reset()
+
+
+def _profile_events(config) -> list[dict]:
+    AUDIT.reset()
+    AUDIT.enable()
+    try:
+        profile_configuration(config, rows=12)
+        return AUDIT.events()
+    finally:
+        AUDIT.reset()
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_replay_is_deterministic_minus_timestamps():
+    first = _profile_events(BROKEN)
+    second = _profile_events(BROKEN)
+    assert first, "workload emitted no events"
+    # Timestamps differ between the runs; everything else is identical.
+    assert canonical_lines(first) == canonical_lines(second)
+    assert any("ts" in event for event in first)
+    assert all("ts" not in json.loads(line) for line in canonical_lines(first))
+
+
+def test_events_are_sequence_numbered_sorted_json():
+    events = _profile_events(EncryptionConfig.paper_fixed("eax"))
+    assert [event["seq"] for event in events] == list(range(1, len(events) + 1))
+    line = canonical_lines(events)[0]
+    assert list(json.loads(line)) == sorted(json.loads(line))
+
+
+def test_sink_round_trips_through_read_events(tmp_path):
+    sink = tmp_path / "audit.jsonl"
+    AUDIT.enable(sink_path=sink)
+    profile_configuration(BROKEN, rows=12)
+    buffered = AUDIT.events()
+    AUDIT.disable()
+    assert canonical_lines(read_events(sink)) == canonical_lines(buffered)
+
+
+# -- storage neutrality -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "label, config",
+    default_campaign_configs(),
+    ids=[label for label, _ in default_campaign_configs()],
+)
+def test_disabled_audit_emits_nothing_everywhere(label, config):
+    image = dump_database(build_campaign_db(config, 8))
+    assert AUDIT.events() == []
+    assert image  # the workload actually ran
+
+
+def test_enabled_audit_keeps_images_byte_identical():
+    label, config = default_campaign_configs()[3]
+    baseline = dump_database(build_campaign_db(config, 8))
+    AUDIT.enable()
+    audited = dump_database(build_campaign_db(config, 8))
+    events = AUDIT.events()
+    AUDIT.reset()
+    assert audited == baseline
+    assert events, "enabled audit should have recorded the workload"
+
+
+def test_wrappers_are_identity_when_disabled():
+    mac = HMACMAC(b"k" * 16)
+    assert maybe_audit_mac(mac) is mac
+    sentinel = object()
+    assert maybe_audit_cell_codec(sentinel) is sentinel
+
+
+# -- hook semantics ---------------------------------------------------------
+
+
+def test_mac_verify_failure_emits_event_and_counter():
+    observability.enable()
+    AUDIT.enable()
+    from repro.observability.audit import maybe_audit_mac as audit_mac
+    from repro.observability.instrument import maybe_instrument_mac
+
+    mac = audit_mac(maybe_instrument_mac(HMACMAC(b"k" * 16)))
+    tag = mac.tag(b"message")
+    assert mac.verify(b"message", tag) is True
+    assert mac.verify(b"message", b"\x00" * len(tag)) is False
+    failures = [e for e in AUDIT.events() if e["kind"] == "mac.verify_failure"]
+    assert len(failures) == 1
+    assert failures[0]["mac"] == "hmac-sha256"
+    counters = observability.REGISTRY.counters()
+    assert counters["mac.hmac-sha256.verify_failures"] == 1
+
+
+def test_cell_events_carry_digests_not_ciphertext():
+    events = _profile_events(BROKEN)
+    cell_events = [e for e in events if e["kind"] == "cell.encrypt"]
+    assert cell_events
+    for event in cell_events:
+        assert event["bytes"] > 0
+        for digest in event["digests"]:
+            assert len(digest) == 12
+            int(digest, 16)  # hex, and far too short to invert
+
+
+def test_block_digests_ignore_partial_trailing_block():
+    assert block_digests(b"") == []
+    assert len(block_digests(b"x" * 16)) == 1
+    assert len(block_digests(b"x" * 31)) == 1
+    assert len(block_digests(b"x" * 16 * 20)) == 8  # capped
+
+
+# -- log parsing ------------------------------------------------------------
+
+
+def test_read_events_missing_file(tmp_path):
+    with pytest.raises(AuditError, match="cannot read"):
+        read_events(tmp_path / "nope.jsonl")
+
+
+def test_read_events_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind":"a","seq":1}\nnot json at all\n')
+    with pytest.raises(AuditError, match="bad.jsonl:2"):
+        read_events(path)
+
+
+def test_read_events_rejects_truncated_line(tmp_path):
+    path = tmp_path / "cut.jsonl"
+    path.write_text('{"kind":"a","seq":1}\n{"kind":"b","se')
+    with pytest.raises(AuditError, match="truncated or corrupt"):
+        read_events(path)
+
+
+def test_read_events_rejects_non_event_objects(tmp_path):
+    path = tmp_path / "odd.jsonl"
+    path.write_text('["a","list"]\n')
+    with pytest.raises(AuditError, match="missing 'kind'"):
+        read_events(path)
+
+
+def test_write_events_read_events_round_trip(tmp_path):
+    events = [{"kind": "cell.encrypt", "seq": 1, "table": 3}]
+    path = write_events(tmp_path / "log.jsonl", events)
+    assert read_events(path) == events

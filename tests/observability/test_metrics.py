@@ -64,6 +64,53 @@ def test_histogram_summary():
     assert summary["mean"] == 4.0
 
 
+def test_histogram_percentiles_exact_for_small_samples():
+    registry = _enabled_registry()
+    histogram = registry.histogram("h")
+    for value in range(101):  # 0..100, well under the reservoir size
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    assert summary["p50"] == 50.0
+    assert summary["p95"] == 95.0
+    assert summary["p99"] == 99.0
+
+
+def test_histogram_percentiles_none_when_empty():
+    registry = _enabled_registry()
+    summary = registry.histogram("h").summary()
+    assert summary["p50"] is None
+    assert summary["p95"] is None
+    assert summary["p99"] is None
+
+
+def test_histogram_reservoir_stays_bounded():
+    from repro.observability.metrics import Histogram
+
+    size = Histogram.RESERVOIR_SIZE
+    registry = _enabled_registry()
+    histogram = registry.histogram("h")
+    for value in range(10 * size):
+        histogram.observe(float(value))
+    assert histogram.count == 10 * size
+    assert len(histogram._samples) == size
+    # The reservoir is an unbiased sample, so the median estimate must
+    # land in the middle of the observed range (wide tolerance: this is
+    # a sketch, not a sort).
+    p50 = histogram.percentile(0.5)
+    assert 0.25 * 10 * size < p50 < 0.75 * 10 * size
+
+
+def test_histogram_percentiles_deterministic():
+    def build():
+        registry = _enabled_registry()
+        histogram = registry.histogram("h")
+        for value in range(5000):
+            histogram.observe(float(value))
+        return histogram.summary()
+
+    assert build() == build()  # private LCG, not the random module
+
+
 def test_histogram_disabled_is_noop():
     registry = MetricsRegistry()
     histogram = registry.histogram("h")

@@ -120,3 +120,96 @@ def test_bench_rejects_missing_flag_values(capsys):
     assert "--out requires a value" in capsys.readouterr().err
     assert main(["faultcampaign", "--seeds"]) == 2
     assert "--seeds requires a value" in capsys.readouterr().err
+
+
+def test_bench_baseline_self_comparison_passes(tmp_path, capsys):
+    out = tmp_path / "BENCH_a.json"
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    second = tmp_path / "BENCH_b.json"
+    delta_path = tmp_path / "delta.json"
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(second), "--baseline", str(out),
+                 "--threshold", "5", "--delta-out", str(delta_path)]) == 0
+    captured = capsys.readouterr()
+    assert "baseline comparison: OK" in captured.out
+    assert delta_path.exists()
+
+    import json
+
+    delta = json.loads(delta_path.read_text())
+    assert delta["ok"] is True
+    assert all(entry["cipher_delta"] == 0 for entry in delta["entries"])
+
+
+def test_bench_rejects_missing_baseline_file(tmp_path, capsys):
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_bench_rejects_bad_threshold(capsys):
+    assert main(["bench", "--threshold", "abc"]) == 2
+    assert "must be a number" in capsys.readouterr().err
+    assert main(["bench", "--threshold", "-1"]) == 2
+    assert "non-negative" in capsys.readouterr().err
+
+
+def test_audit_requires_a_log_or_live(capsys):
+    assert main(["audit"]) == 2
+    captured = capsys.readouterr()
+    assert "requires a log path" in captured.err
+    assert "Commands" in captured.out
+
+
+def test_audit_rejects_missing_file(tmp_path, capsys):
+    assert main(["audit", str(tmp_path / "nope.jsonl")]) == 2
+    captured = capsys.readouterr()
+    assert "cannot read audit log" in captured.err
+    assert "Commands" in captured.out  # usage text, not a traceback
+
+
+def test_audit_rejects_garbage_jsonl(tmp_path, capsys):
+    log = tmp_path / "bad.jsonl"
+    log.write_text("this is not json\n")
+    assert main(["audit", str(log)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_audit_rejects_truncated_log(tmp_path, capsys):
+    log = tmp_path / "cut.jsonl"
+    log.write_text('{"kind":"cell.encrypt","seq":1}\n{"kind":"cell.de')
+    assert main(["audit", str(log)]) == 2
+    assert "truncated or corrupt" in capsys.readouterr().err
+
+
+def test_audit_rejects_unknown_flag(capsys):
+    assert main(["audit", "--frobnicate"]) == 2
+    assert "unknown audit argument" in capsys.readouterr().err
+
+
+def test_audit_rejects_unknown_config_slug(capsys):
+    assert main(["audit", "--live", "--configs", "nope"]) == 2
+    assert "unknown configuration slug" in capsys.readouterr().err
+
+
+def test_audit_rejects_extra_positional(tmp_path, capsys):
+    assert main(["audit", "a.jsonl", "b.jsonl"]) == 2
+    assert "at most one log path" in capsys.readouterr().err
+
+
+def test_audit_live_then_replay_round_trip(tmp_path, capsys):
+    assert main(["audit", "--live", "--configs", "aead-eax",
+                 "--log-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "agree with the offline matrix" in captured.out
+    log = tmp_path / "audit-aead-eax.jsonl"
+    assert log.exists()
+    assert (tmp_path / "metrics-aead-eax.prom").exists()
+
+    prom = tmp_path / "replay.prom"
+    assert main(["audit", str(log), "--metrics-prom", str(prom)]) == 0
+    captured = capsys.readouterr()
+    assert "streaming leakage verdicts" in captured.out
+    assert "# TYPE repro_leak_events counter" in prom.read_text()
