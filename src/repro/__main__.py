@@ -21,6 +21,13 @@ Commands:
   against that report (``--threshold F`` sets the fractional wall-time
   tolerance, default 0.25; ``--delta-out PATH`` writes the comparison
   document) and exit non-zero on regression.
+* ``crashcampaign [--rows N] [--limit N] [--configs slug,...]
+  [--modes m,...]`` — power-cut a journaled database at every write
+  boundary of a seeded workload (or N evenly-spaced boundaries with
+  ``--limit``) under each crash mode (default ``cut,torn,drop``) and
+  assert recovery always lands on exactly the pre- or post-operation
+  state; also checks audit-hook byte-neutrality and flaky-backend
+  retry equivalence.  Exits non-zero on any violation.
 * ``audit <log.jsonl> [--metrics-jsonl PATH] [--metrics-prom PATH]`` —
   replay a security audit log through the streaming leakage monitor
   and print the six probe verdicts; optionally export the ``leak.*``
@@ -185,6 +192,75 @@ def _faultcampaign(argv: list[str]) -> int:
         return 1
     print("matrix consistent with the paper's claims "
           "(broken schemes corrupt silently, AEAD never does)")
+    return 0
+
+
+def _crashcampaign(argv: list[str]) -> int:
+    from repro.durability import run_crash_campaign
+    from repro.durability.crashcampaign import CRASH_MODES
+    from repro.observability.leakmon import CONFIG_SLUGS
+    from repro.robustness.campaign import default_campaign_configs
+
+    rows = 5
+    limit: int | None = None
+    config_slugs: list[str] | None = None
+    modes: list[str] | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--rows" or arg.startswith("--rows="):
+            rows = _parse_int(_flag_value(arg, args, "--rows"), "--rows")
+        elif arg == "--limit" or arg.startswith("--limit="):
+            limit = _parse_int(_flag_value(arg, args, "--limit"), "--limit")
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg == "--modes" or arg.startswith("--modes="):
+            value = _flag_value(arg, args, "--modes")
+            modes = [m for m in value.split(",") if m]
+        else:
+            raise UsageError(f"unknown crashcampaign argument {arg!r}")
+    if rows < 1:
+        raise UsageError("--rows must be at least 1")
+    if limit is not None and limit < 1:
+        raise UsageError("--limit must be at least 1")
+
+    configs = None
+    if config_slugs is not None:
+        unknown = [slug for slug in config_slugs if slug not in CONFIG_SLUGS]
+        if unknown or not config_slugs:
+            raise UsageError(
+                f"unknown or empty configuration slug(s); "
+                f"available: {', '.join(CONFIG_SLUGS)}"
+            )
+        by_label = dict(default_campaign_configs())
+        configs = [
+            (CONFIG_SLUGS[slug], by_label[CONFIG_SLUGS[slug]])
+            for slug in config_slugs
+        ]
+    if modes is not None:
+        bad = [m for m in modes if m not in CRASH_MODES]
+        if bad or not modes:
+            raise UsageError(
+                f"unknown or empty crash mode(s); "
+                f"available: {', '.join(CRASH_MODES)}"
+            )
+
+    result = run_crash_campaign(
+        rows=rows,
+        limit=limit,
+        configs=configs,
+        modes=tuple(modes) if modes is not None else CRASH_MODES,
+    )
+    print(result.format_matrix())
+    if not result.ok:
+        print()
+        for violation in result.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("every crash recovered to exactly the pre- or post-operation "
+          "state; audit hooks and retried transient failures are "
+          "byte-neutral")
     return 0
 
 
@@ -468,6 +544,8 @@ def main(argv: list[str] | None = None) -> int:
             return _collisions(rest)
         if command == "faultcampaign":
             return _faultcampaign(rest)
+        if command == "crashcampaign":
+            return _crashcampaign(rest)
         if command == "bench":
             return _bench(rest)
         if command == "audit":

@@ -356,6 +356,95 @@ def bench_fault_recovery(
     return result
 
 
+def _durable_db(config: EncryptionConfig, disk) -> "DurableDatabase":
+    from repro.core.keys import KeyRing
+    from repro.durability.manager import DurableDatabase
+    from repro.durability.wal import journal_mac
+
+    db = _fresh_db(config)
+    return DurableDatabase.open(
+        disk,
+        journal_mac(KeyRing(_MASTER_KEY)),
+        cell_codec=db.cell_codec,
+        index_codec_factory=db._build_index_codec,
+    )
+
+
+def bench_wal_commit(
+    label: str, config: EncryptionConfig, sizes: SizeProfile
+) -> ScenarioResult:
+    """Journaled inserts (append + sync per row) plus a final checkpoint.
+
+    The delta against ``bulk_insert`` is the write-ahead overhead the
+    durability layer charges per mutation."""
+    from repro.durability.vdisk import MemoryDisk
+
+    manager = _durable_db(config, MemoryDisk())
+    manager.create_table(_SCHEMA)
+    rows = [_row_values(i) for i in range(sizes.rows)]
+    observability.reset()
+    start = time.perf_counter()
+    for values in rows:
+        manager.insert("records", values)
+    manager.checkpoint()
+    wall = time.perf_counter() - start
+    snapshot = observability.REGISTRY.snapshot()
+    return ScenarioResult(
+        scenario="wal_commit",
+        config=label,
+        wall_seconds=wall,
+        ops=sizes.rows,
+        counters=snapshot["counters"],
+        histograms=snapshot["histograms"],
+    )
+
+
+def bench_wal_replay(
+    label: str, config: EncryptionConfig, sizes: SizeProfile
+) -> ScenarioResult:
+    """Crash-recovery mounts of a disk whose journal holds half the rows.
+
+    Measures the replay path: checkpoint load, committed-suffix replay,
+    and the end-of-replay index rebuild."""
+    from repro.durability.vdisk import MemoryDisk
+
+    disk = MemoryDisk()
+    manager = _durable_db(config, disk)
+    manager.create_table(_SCHEMA)
+    half = max(1, sizes.rows // 2)
+    for i in range(half):
+        manager.insert("records", _row_values(i))
+    manager.create_index("records_by_payload", "records", "payload", kind="table")
+    manager.create_index("records_by_id", "records", "id", kind="btree")
+    manager.checkpoint()
+    for i in range(half, sizes.rows):
+        manager.insert("records", _row_values(i))
+    image = {name: disk.read(name) for name in disk.names()}
+
+    mounts = max(1, sizes.fault_seeds)
+    observability.reset()
+    start = time.perf_counter()
+    replayed = 0
+    for _ in range(mounts):
+        recovered = _durable_db(config, MemoryDisk(image))
+        replayed += recovered.recovery.records_replayed
+    wall = time.perf_counter() - start
+    if replayed != mounts * (sizes.rows - half):
+        raise AssertionError(
+            f"{label}: replayed {replayed} records, "
+            f"expected {mounts * (sizes.rows - half)}"
+        )
+    snapshot = observability.REGISTRY.snapshot()
+    return ScenarioResult(
+        scenario="wal_replay",
+        config=label,
+        wall_seconds=wall,
+        ops=mounts,
+        counters=snapshot["counters"],
+        histograms=snapshot["histograms"],
+    )
+
+
 ScenarioRunner = Callable[[str, EncryptionConfig, SizeProfile], ScenarioResult]
 
 #: Name → runner, in reporting order.
@@ -365,6 +454,8 @@ SCENARIOS: dict[str, ScenarioRunner] = {
     "range_query": bench_range_query,
     "index_build": bench_index_build,
     "fault_recovery": bench_fault_recovery,
+    "wal_commit": bench_wal_commit,
+    "wal_replay": bench_wal_replay,
 }
 
 #: Scenarios that read typed values back and so are skipped for

@@ -1,0 +1,415 @@
+"""The crash campaign: power-cut the disk at *every* write boundary.
+
+The journal protocol of :mod:`repro.durability.manager` claims one
+invariant — **atomic logical mutations**: however the power dies, a
+remount recovers the database to exactly the state before or after some
+logical operation, never a hybrid.  This module makes the claim
+exhaustively checkable:
+
+1. run a seeded workload once on a pass-through
+   :class:`~repro.durability.vdisk.CrashDisk` to learn every write
+   boundary, recording after each logical step the *recovered* image a
+   remount of the surviving bytes produces (the oracle dumps);
+2. re-run the workload once per (boundary, crash mode) pair — clean cut,
+   torn write, dropped write-cache — catching the
+   :class:`~repro.errors.PowerCutError`, remounting the survivor, and
+   asserting the recovered image is byte-identical to the oracle dump of
+   the step boundary just before or just after the cut.
+
+Both sides of the comparison go through the same recovery pipeline, so
+the byte oracle is exact even for randomized codecs: recovery replays
+*stored* cell bytes physically and rebuilds indexes with freshly
+constructed (deterministically seeded) codecs.
+
+Two side-checks ride along, mirroring the acceptance criteria:
+
+* **audit neutrality** — the full workload leaves byte-identical disks
+  with ``AUDIT`` enabled and disabled (``wal.*`` events are pure
+  observation);
+* **flaky-backend equivalence** — the workload through a
+  :class:`~repro.durability.vdisk.FlakyDisk` under a
+  :class:`~repro.durability.retry.RetryingDisk` lands on the same final
+  bytes as the fault-free run (transient failures are invisible).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.engine.database import Database
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import dump_database
+from repro.errors import PowerCutError, ReproError
+from repro.observability.audit import AUDIT
+from repro.primitives.rng import DeterministicRandom
+from repro.robustness.campaign import default_campaign_configs
+
+from repro.durability.manager import DurableDatabase
+from repro.durability.retry import RetryingDisk, RetryPolicy
+from repro.durability.vdisk import (
+    BYTE_OPS,
+    CrashDisk,
+    CrashPlan,
+    FlakyDisk,
+    MemoryDisk,
+    VirtualDisk,
+)
+from repro.durability.wal import journal_mac
+
+CRASH_MODES = ("cut", "torn", "drop")
+
+_CRASH_MASTER_KEY = b"crashcampaign-master-key-0123456"
+
+_SCHEMA = TableSchema("people", [
+    Column("id", ColumnType.INT),          # sensitive (default)
+    Column("name", ColumnType.TEXT),       # sensitive (default)
+    Column("city", ColumnType.TEXT, sensitive=False),
+])
+
+
+def _row_values(i: int) -> list:
+    return [i, f"name-{i:03d}-{'x' * (8 + i % 5)}", f"city-{i % 3}"]
+
+
+def _mount(
+    disk: VirtualDisk, config: EncryptionConfig, master_key: bytes
+) -> DurableDatabase:
+    """Open a durable database with fresh codec plumbing for ``config``.
+
+    A fresh :class:`EncryptedDatabase` per mount is what a real restart
+    does — and what makes recovery deterministic: every codec starts
+    from its seeded initial state."""
+    enc = EncryptedDatabase(master_key, config)
+    return DurableDatabase.open(
+        disk,
+        journal_mac(enc.keys),
+        cell_codec=enc.cell_codec,
+        index_codec_factory=enc._build_index_codec,
+    )
+
+
+def _run_workload(manager: DurableDatabase, rows: int, on_step=None) -> None:
+    """The seeded workload: DDL, inserts, two indexes, checkpoints,
+    updates, deletes, and post-checkpoint tail inserts — every journal
+    op kind, on both sides of a checkpoint."""
+    def step(label: str) -> None:
+        if on_step is not None:
+            on_step(label)
+
+    manager.create_table(_SCHEMA)
+    step("create_table")
+    row_ids = []
+    for i in range(rows):
+        row_ids.append(manager.insert("people", _row_values(i)))
+        step(f"insert {i}")
+    manager.create_index("people_by_name", "people", "name", kind="table")
+    step("create_index table")
+    manager.create_index("people_by_id", "people", "id", kind="btree")
+    step("create_index btree")
+    manager.checkpoint()
+    step("checkpoint 1")
+    for i in range(0, rows, 2):
+        manager.update_value("people", row_ids[i], "name", f"renamed-{i:03d}")
+        step(f"update {i}")
+    if rows >= 2:
+        manager.delete_row("people", row_ids[1])
+        step("delete")
+    manager.checkpoint()
+    step("checkpoint 2")
+    for i in range(rows, rows + 2):
+        manager.insert("people", _row_values(i))
+        step(f"tail insert {i}")
+
+
+def _round_trips(config: EncryptionConfig, master_key: bytes) -> bool:
+    """True when typed reads round-trip (everything but the XOR-Scheme,
+    whose paper-faithful decode returns the still-padded block)."""
+    db = EncryptedDatabase(master_key, config)
+    db.create_table(_SCHEMA)
+    row_id = db.insert("people", _row_values(0))
+    try:
+        return db.get_row("people", row_id) == _row_values(0)
+    except ReproError:
+        return False
+
+
+def _logical_state(db: Database, include_indexes: bool) -> dict:
+    """Decoded observable content (cells; index pairs when comparable)."""
+    tables = {}
+    for name in db.table_names:
+        table = db.table(name)
+        tables[name] = {
+            row_id: tuple(
+                db._plain_cell(table, row_id, position)
+                for position in range(len(table.schema.columns))
+            )
+            for row_id in table.row_ids
+        }
+    state = {"tables": tables}
+    if include_indexes:
+        state["indexes"] = {
+            name: tuple(sorted(db.index(name).structure.items()))
+            for name in db.index_names
+        }
+    return state
+
+
+@dataclass
+class _Boundary:
+    """Oracle entry: after step ``label``, ``ops`` boundaries have run
+    and a remount of the surviving bytes dumps exactly ``dump``."""
+
+    label: str
+    ops: int
+    dump: bytes
+
+
+@dataclass
+class ConfigCrashResult:
+    """Sweep outcome for one scheme configuration."""
+
+    config: str
+    boundaries: int = 0
+    trials: int = 0
+    recovered_pre: int = 0
+    recovered_post: int = 0
+    resilient_fallbacks: int = 0
+    wal_truncations: int = 0
+    flaky_failures_retried: int = 0
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CrashCampaignResult:
+    """The full campaign: one sweep per configuration plus side-checks."""
+
+    rows: int
+    limit: int | None
+    modes: tuple[str, ...]
+    per_config: list[ConfigCrashResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for result in self.per_config for v in result.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_matrix(self) -> str:
+        rows = [
+            [
+                result.config,
+                result.boundaries,
+                result.trials,
+                result.recovered_pre,
+                result.recovered_post,
+                result.resilient_fallbacks,
+                result.wal_truncations,
+                result.flaky_failures_retried,
+                len(result.violations),
+            ]
+            for result in self.per_config
+        ]
+        limit = "exhaustive" if self.limit is None else f"limit {self.limit}"
+        return format_table(
+            [
+                "configuration", "boundaries", "trials", "pre", "post",
+                "fallbacks", "truncations", "retried", "violations",
+            ],
+            rows,
+            caption=(
+                f"crash-recovery campaign ({self.rows}-row workload, "
+                f"modes {'/'.join(self.modes)}, {limit} crash points "
+                f"per configuration)"
+            ),
+        )
+
+
+def _reference_run(
+    config: EncryptionConfig,
+    master_key: bytes,
+    rows: int,
+    result: ConfigCrashResult,
+) -> tuple[list[_Boundary], bytes, list[str]]:
+    """Run the workload crash-free, building the oracle dumps."""
+    include_indexes = _round_trips(config, master_key)
+    disk = CrashDisk(MemoryDisk())
+    boundaries: list[_Boundary] = []
+
+    def snapshot(label: str, manager: DurableDatabase) -> None:
+        recovered = _mount(disk.survivor(), config, master_key)
+        dump = dump_database(recovered.database)
+        live_state = _logical_state(manager.database, include_indexes)
+        recovered_state = _logical_state(recovered.database, include_indexes)
+        if live_state != recovered_state:
+            result.violations.append(
+                f"{result.config}: recovery after step {label!r} lost or "
+                f"changed committed content"
+            )
+        boundaries.append(_Boundary(label, disk.op_count, dump))
+
+    manager = _mount(disk, config, master_key)
+    snapshot("mounted", manager)
+    _run_workload(manager, rows, on_step=lambda label: snapshot(label, manager))
+    return boundaries, dump_database(Database()), list(disk.op_log)
+
+
+def _crash_points(total: int, limit: int | None) -> list[int]:
+    if limit is None or total <= limit:
+        return list(range(total))
+    if limit <= 1:
+        return [0]
+    return sorted({round(i * (total - 1) / (limit - 1)) for i in range(limit)})
+
+
+def _sweep_config(
+    label: str,
+    config: EncryptionConfig,
+    master_key: bytes,
+    rows: int,
+    limit: int | None,
+    modes: tuple[str, ...],
+) -> ConfigCrashResult:
+    result = ConfigCrashResult(config=label)
+    boundaries, empty_dump, op_log = _reference_run(
+        config, master_key, rows, result
+    )
+    result.boundaries = len(op_log)
+    cutoffs = [boundary.ops for boundary in boundaries]
+
+    for op_index in _crash_points(len(op_log), limit):
+        for mode in modes:
+            if mode == "torn" and op_log[op_index] not in BYTE_OPS:
+                continue  # tears identically to "cut" on payload-free ops
+            disk = CrashDisk(MemoryDisk(), CrashPlan(op_index, mode))
+            crashed = False
+            try:
+                manager = _mount(disk, config, master_key)
+                _run_workload(manager, rows)
+            except PowerCutError:
+                crashed = True
+            if not crashed:
+                result.violations.append(
+                    f"{label}: planned crash at boundary {op_index} "
+                    f"({mode}) never fired"
+                )
+                continue
+            result.trials += 1
+            try:
+                recovered = _mount(disk.survivor(), config, master_key)
+            except Exception as exc:
+                result.violations.append(
+                    f"{label}: recovery raised after crash at boundary "
+                    f"{op_index} ({mode}): {type(exc).__name__}: {exc}"
+                )
+                continue
+            if recovered.recovery.resilient is not None:
+                result.resilient_fallbacks += 1
+            if recovered.recovery.truncated_reason is not None:
+                result.wal_truncations += 1
+            dump = dump_database(recovered.database)
+            # Boundary op_index interrupts the logical step *after* the
+            # last oracle entry whose op count is <= op_index.
+            pre_index = bisect_right(cutoffs, op_index) - 1
+            pre = boundaries[pre_index].dump if pre_index >= 0 else empty_dump
+            post = (
+                boundaries[pre_index + 1].dump
+                if pre_index + 1 < len(boundaries)
+                else pre
+            )
+            if dump == post:
+                result.recovered_post += 1
+            elif dump == pre:
+                result.recovered_pre += 1
+            else:
+                result.violations.append(
+                    f"{label}: crash at boundary {op_index} ({mode}, "
+                    f"{op_log[op_index]}) recovered to a hybrid state — "
+                    f"neither pre nor post "
+                    f"{boundaries[max(pre_index, 0)].label!r}"
+                )
+    return result
+
+
+def _final_disk(
+    config: EncryptionConfig, master_key: bytes, rows: int
+) -> dict[str, bytes]:
+    disk = MemoryDisk()
+    manager = _mount(disk, config, master_key)
+    _run_workload(manager, rows)
+    return disk.durable_state()
+
+
+def _audit_neutrality_check(
+    label: str,
+    config: EncryptionConfig,
+    master_key: bytes,
+    rows: int,
+    result: ConfigCrashResult,
+) -> None:
+    was_enabled = AUDIT.enabled
+    try:
+        AUDIT.disable()
+        quiet = _final_disk(config, master_key, rows)
+        AUDIT.enable()
+        audited = _final_disk(config, master_key, rows)
+    finally:
+        AUDIT.enabled = was_enabled
+    if quiet != audited:
+        result.violations.append(
+            f"{label}: enabling audit hooks changed the stored bytes"
+        )
+
+
+def _flaky_retry_check(
+    label: str,
+    config: EncryptionConfig,
+    master_key: bytes,
+    rows: int,
+    result: ConfigCrashResult,
+) -> None:
+    reference = _final_disk(config, master_key, rows)
+    inner = MemoryDisk()
+    flaky = FlakyDisk(
+        inner, DeterministicRandom(b"crash-flaky-disk").fork(label), fail_rate=0.25
+    )
+    policy = RetryPolicy(
+        deadline=60.0, rng=DeterministicRandom(b"crash-retry-policy")
+    )
+    manager = _mount(RetryingDisk(flaky, policy), config, master_key)
+    _run_workload(manager, rows)
+    result.flaky_failures_retried = flaky.failures_injected
+    if flaky.failures_injected == 0:
+        result.violations.append(
+            f"{label}: flaky backend injected no failures — check is vacuous"
+        )
+    if inner.durable_state() != reference:
+        result.violations.append(
+            f"{label}: retried transient failures changed the final bytes"
+        )
+
+
+def run_crash_campaign(
+    rows: int = 5,
+    limit: int | None = None,
+    configs: list[tuple[str, EncryptionConfig]] | None = None,
+    master_key: bytes = _CRASH_MASTER_KEY,
+    modes: tuple[str, ...] = CRASH_MODES,
+) -> CrashCampaignResult:
+    """Sweep every (or ``limit`` evenly-spaced) write boundaries of the
+    workload under every crash mode, for every configuration."""
+    for mode in modes:
+        if mode not in CRASH_MODES:
+            raise ValueError(f"unknown crash mode {mode!r}")
+    configs = configs if configs is not None else default_campaign_configs()
+    campaign = CrashCampaignResult(rows=rows, limit=limit, modes=tuple(modes))
+    for label, config in configs:
+        result = _sweep_config(label, config, master_key, rows, limit, modes)
+        _audit_neutrality_check(label, config, master_key, rows, result)
+        _flaky_retry_check(label, config, master_key, rows, result)
+        campaign.per_config.append(result)
+    return campaign

@@ -1,0 +1,627 @@
+"""Crash-consistent database persistence: journal-first, checkpoint-later.
+
+:class:`DurableDatabase` wraps an engine
+:class:`~repro.engine.database.Database` and a
+:class:`~repro.durability.vdisk.VirtualDisk` behind one rule — **no
+mutation is acknowledged before its journal record is durable**:
+
+1. every engine mutation (create table/index, insert, update, delete)
+   is encoded as one :class:`~repro.durability.wal.JournalRecord`,
+   appended and synced (the MAC tag is the commit marker), and only
+   then applied to the in-memory database;
+2. :meth:`checkpoint` folds the current state into the existing storage
+   image format and installs it via write-temp → sync → rename, then
+   starts a fresh journal generation;
+3. :meth:`open` recovers: load the checkpoint (falling back to
+   :func:`~repro.robustness.recovery.load_database_resilient` when it
+   is damaged), scan the journal — truncating at the first torn or
+   unauthenticated suffix — and replay the committed records whose
+   sequence number exceeds the checkpoint's ``applied_seq``.
+
+Journal records carry the *stored* (post-codec) cell bytes, never
+plaintext: the journal lives on the same untrusted storage as the
+image, and physical logging also makes replay byte-deterministic — the
+replayed table content is identical to the live run's, with no fresh
+nonce draws.  Index maintenance is **not** replayed entry-by-entry;
+whenever any record replays, every index is rebuilt from the recovered
+cells with a fresh codec (the same policy, and the same nonce-rotation
+caveat, as :mod:`repro.robustness.recovery`).
+
+Audit events (``wal.*``) follow the off-by-default hook pattern of
+:mod:`repro.observability.audit`: pure observation, no disk byte ever
+depends on whether auditing is enabled.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engine.btree import BPlusTree
+from repro.engine.database import (
+    CellCodec,
+    Database,
+    IndexCodecFactory,
+    IndexInfo,
+)
+from repro.engine.indextable import IndexTable
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import (
+    _Reader,
+    _write_bytes,
+    _write_int,
+    _write_text,
+    dump_database,
+    load_database,
+)
+from repro.errors import SchemaError, StorageFormatError
+from repro.mac.base import MAC
+from repro.observability.audit import AUDIT
+from repro.robustness.recovery import RecoveryReport, load_database_resilient
+
+from repro.durability.vdisk import VirtualDisk
+from repro.durability.wal import (
+    CHECKPOINT_BLOB,
+    CHECKPOINT_TMP,
+    Journal,
+    JournalRecord,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+
+#: Journal operation names (the ``op`` field of every record).
+OP_CREATE_TABLE = "create_table"
+OP_CREATE_INDEX = "create_index"
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+
+#: Checkpoint verdicts of :meth:`DurableDatabase.open`.
+CKPT_OK = "ok"
+CKPT_MISSING = "missing"
+CKPT_UNAUTHENTICATED = "unauthenticated"
+CKPT_MALFORMED = "malformed"
+CKPT_UNLOADABLE = "unloadable"
+
+#: Journal verdicts.
+JOURNAL_CLEAN = "clean"
+JOURNAL_TRUNCATED = "truncated"
+JOURNAL_MISSING = "missing"
+JOURNAL_STALE = "stale"
+
+
+@dataclass
+class WalRecovery:
+    """What :meth:`DurableDatabase.open` found and decided."""
+
+    checkpoint: str = CKPT_MISSING
+    journal: str = JOURNAL_MISSING
+    generation: int = 1
+    applied_seq: int = 0
+    records_replayed: int = 0
+    records_skipped: int = 0
+    truncated_at: int | None = None
+    truncated_reason: str | None = None
+    #: Why replay stopped early (a record the MAC accepted but the
+    #: engine could not apply — journal/checkpoint mismatch).
+    replay_stopped: str | None = None
+    indexes_rebuilt: bool = False
+    #: The resilient loader's report when the checkpoint needed salvage.
+    resilient: RecoveryReport | None = None
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when recovery could not fully trust its inputs."""
+        return (
+            self.checkpoint not in (CKPT_OK, CKPT_MISSING)
+            or self.replay_stopped is not None
+        )
+
+    def __str__(self) -> str:
+        tail = f", truncated: {self.truncated_reason}" if self.truncated_reason else ""
+        return (
+            f"wal recovery: checkpoint={self.checkpoint} journal={self.journal} "
+            f"replayed={self.records_replayed} skipped={self.records_skipped}"
+            f"{tail}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Record payload encoding (storage framing, so _Reader hardening applies)
+# ---------------------------------------------------------------------------
+
+def _encode_create_table(schema: TableSchema, table_id: int) -> bytes:
+    out = io.BytesIO()
+    _write_text(out, schema.name)
+    _write_int(out, table_id)
+    _write_int(out, len(schema.columns))
+    for column in schema.columns:
+        _write_text(out, column.name)
+        _write_text(out, column.type.value)
+        _write_int(out, 1 if column.sensitive else 0)
+    return out.getvalue()
+
+
+def _decode_create_table(reader: _Reader) -> tuple[TableSchema, int]:
+    name = reader.read_text()
+    table_id = reader.read_int()
+    column_count = reader.read_count("column")
+    columns = []
+    for _ in range(column_count):
+        column_name = reader.read_text()
+        type_name = reader.read_text()
+        try:
+            column_type = ColumnType(type_name)
+        except ValueError:
+            raise StorageFormatError(
+                f"unknown column type {type_name!r}", offset=reader.offset
+            ) from None
+        sensitive = reader.read_int() == 1
+        columns.append(Column(column_name, column_type, sensitive))
+    return TableSchema(name, columns), table_id
+
+
+def _encode_create_index(
+    name: str, table: str, column: str, kind: str, order: int, index_table_id: int
+) -> bytes:
+    out = io.BytesIO()
+    _write_text(out, name)
+    _write_text(out, table)
+    _write_text(out, column)
+    _write_text(out, kind)
+    _write_int(out, order)
+    _write_int(out, index_table_id)
+    return out.getvalue()
+
+
+def _encode_insert(table: str, row_id: int, stored_cells: Sequence[bytes]) -> bytes:
+    out = io.BytesIO()
+    _write_text(out, table)
+    _write_int(out, row_id)
+    _write_int(out, len(stored_cells))
+    for cell in stored_cells:
+        _write_bytes(out, cell)
+    return out.getvalue()
+
+
+def _encode_update(table: str, row_id: int, column_pos: int, stored: bytes) -> bytes:
+    out = io.BytesIO()
+    _write_text(out, table)
+    _write_int(out, row_id)
+    _write_int(out, column_pos)
+    _write_bytes(out, stored)
+    return out.getvalue()
+
+
+def _encode_delete(table: str, row_id: int) -> bytes:
+    out = io.BytesIO()
+    _write_text(out, table)
+    _write_int(out, row_id)
+    return out.getvalue()
+
+
+def _finish(reader: _Reader) -> None:
+    if reader.remaining:
+        raise StorageFormatError(
+            f"{reader.remaining} trailing byte(s) in journal payload",
+            offset=reader.offset,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Physical application (shared by the live path and replay)
+# ---------------------------------------------------------------------------
+
+def _apply_create_table(db: Database, schema: TableSchema, table_id: int) -> None:
+    table = db.create_table(schema)
+    if table.table_id != table_id:
+        raise StorageFormatError(
+            f"journal created table id {table.table_id}, record says {table_id}"
+        )
+
+
+def _register_empty_index(
+    db: Database,
+    name: str,
+    table_name: str,
+    column_name: str,
+    kind: str,
+    order: int,
+    index_table_id: int,
+) -> None:
+    """Replay of ``create_index``: register the definition with an empty
+    structure; the end-of-replay rebuild fills every index at once."""
+    if name in db._indexes:
+        raise SchemaError(f"index {name!r} already exists")
+    table = db.table(table_name)
+    column_pos = table.schema.column_index(column_name)
+    if db._next_table_id != index_table_id:
+        raise StorageFormatError(
+            f"journal allocates index table id {db._next_table_id}, "
+            f"record says {index_table_id}"
+        )
+    db._next_table_id += 1
+    codec = db._index_codec_factory(index_table_id, table.table_id, column_pos)
+    if kind == "table":
+        structure: IndexTable | BPlusTree = IndexTable(index_table_id, codec)
+    elif kind == "btree":
+        structure = BPlusTree(index_table_id, codec, order=order)
+    else:
+        raise StorageFormatError(f"unknown index kind {kind!r} in journal")
+    info = IndexInfo(name, table_name, column_name, structure)
+    db._indexes[name] = info
+    db._indexes_by_column.setdefault((table_name, column_name), []).append(info)
+
+
+def _apply_insert(
+    db: Database, table_name: str, row_id: int, stored_cells: list[bytes]
+) -> None:
+    table = db.table(table_name)
+    if table._next_row != row_id:
+        raise StorageFormatError(
+            f"journal insert into {table_name!r} expects row {row_id}, "
+            f"table would allocate {table._next_row}"
+        )
+    assigned = table.insert_cells(stored_cells)
+    assert assigned == row_id
+
+
+def _replay_record(db: Database, record: JournalRecord) -> None:
+    """Apply one committed record physically (no index maintenance)."""
+    reader = _Reader(record.payload)
+    if record.op == OP_CREATE_TABLE:
+        schema, table_id = _decode_create_table(reader)
+        _finish(reader)
+        _apply_create_table(db, schema, table_id)
+    elif record.op == OP_CREATE_INDEX:
+        name = reader.read_text()
+        table = reader.read_text()
+        column = reader.read_text()
+        kind = reader.read_text()
+        order = reader.read_int()
+        index_table_id = reader.read_int()
+        _finish(reader)
+        _register_empty_index(db, name, table, column, kind, order, index_table_id)
+    elif record.op == OP_INSERT:
+        table_name = reader.read_text()
+        row_id = reader.read_int()
+        cell_count = reader.read_count("cell")
+        cells = [reader.read_bytes() for _ in range(cell_count)]
+        _finish(reader)
+        _apply_insert(db, table_name, row_id, cells)
+    elif record.op == OP_UPDATE:
+        table_name = reader.read_text()
+        row_id = reader.read_int()
+        column_pos = reader.read_int()
+        stored = reader.read_bytes()
+        _finish(reader)
+        db.table(table_name).set_cell(row_id, column_pos, stored)
+    elif record.op == OP_DELETE:
+        table_name = reader.read_text()
+        row_id = reader.read_int()
+        _finish(reader)
+        db.table(table_name).delete_row(row_id)
+    else:
+        raise StorageFormatError(f"unknown journal op {record.op!r}")
+
+
+def _rebuild_indexes(db: Database) -> None:
+    """Rebuild every index from recovered cells with fresh codecs.
+
+    Deterministic given the table content: indexes are processed in name
+    order, rows in id order, and each codec is freshly constructed from
+    the factory — so two recoveries of the same committed prefix yield
+    byte-identical structures."""
+    for name in db.index_names:
+        info = db.index(name)
+        table = db.table(info.table)
+        column_pos = table.schema.column_index(info.column)
+        pairs = [
+            (db._plain_cell(table, row_id, column_pos), row_id)
+            for row_id in table.row_ids
+        ]
+        old = info.structure
+        codec = db._index_codec_factory(
+            old.index_table_id, table.table_id, column_pos
+        )
+        if isinstance(old, IndexTable):
+            fresh: IndexTable | BPlusTree = IndexTable(old.index_table_id, codec)
+        else:
+            fresh = BPlusTree(old.index_table_id, codec, order=old.order)
+        fresh.bulk_build(pairs)
+        db.replace_index_structure(name, fresh)
+
+
+# ---------------------------------------------------------------------------
+# The durable database
+# ---------------------------------------------------------------------------
+
+class DurableDatabase:
+    """An engine database whose mutations survive power cuts.
+
+    Construct via :meth:`open` (which doubles as crash recovery); the
+    wrapped engine is reachable read-only-by-convention at
+    :attr:`database` — mutate only through this class, or the journal
+    will not know.
+    """
+
+    def __init__(
+        self,
+        disk: VirtualDisk,
+        db: Database,
+        journal: Journal,
+        mac: MAC,
+        generation: int,
+        seq: int,
+        recovery: WalRecovery,
+    ) -> None:
+        self._disk = disk
+        self._db = db
+        self._journal = journal
+        self._mac = mac
+        self._generation = generation
+        self._seq = seq
+        self.recovery = recovery
+
+    # -- recovery (the only way in) -------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        disk: VirtualDisk,
+        mac: MAC,
+        cell_codec: CellCodec | None = None,
+        index_codec_factory: IndexCodecFactory | None = None,
+    ) -> "DurableDatabase":
+        """Mount a disk: load the checkpoint, replay the journal.
+
+        Decision table (see ``docs/robustness.md``):
+
+        * checkpoint ok, journal clean/torn — strict load, replay the
+          committed suffix;
+        * checkpoint damaged, journal ok — resilient salvage of the
+          embedded image, then best-effort replay;
+        * both damaged — salvage what survives of each; the report's
+          ``degraded`` flag is set.
+        """
+        report = WalRecovery()
+        journal = Journal(disk, mac)
+        fresh_disk = not disk.exists(CHECKPOINT_BLOB) and not journal.exists()
+
+        db: Database | None = None
+        if disk.exists(CHECKPOINT_BLOB):
+            ckpt = decode_checkpoint(disk.read(CHECKPOINT_BLOB), mac)
+            report.generation = max(ckpt.generation, 1)
+            report.applied_seq = max(ckpt.applied_seq, 0)
+            if ckpt.ok:
+                try:
+                    db = load_database(
+                        ckpt.image, cell_codec, index_codec_factory
+                    )
+                    report.checkpoint = CKPT_OK
+                except Exception as exc:
+                    report.checkpoint = CKPT_UNLOADABLE
+                    report.issues.append(
+                        f"authenticated checkpoint failed strict load: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            else:
+                report.checkpoint = (
+                    CKPT_UNAUTHENTICATED
+                    if ckpt.status == "unauthenticated"
+                    else CKPT_MALFORMED
+                )
+                report.issues.append(f"checkpoint {ckpt.status}: {ckpt.detail}")
+            if db is None and ckpt.image is not None:
+                salvage = load_database_resilient(
+                    ckpt.image, cell_codec, index_codec_factory
+                )
+                db = salvage.database
+                report.resilient = salvage.report
+        if db is None:
+            db = Database(
+                cell_codec=cell_codec, index_codec_factory=index_codec_factory
+            )
+
+        scan = journal.scan()
+        if scan.header_ok:
+            report.journal = JOURNAL_CLEAN if scan.clean else JOURNAL_TRUNCATED
+        else:
+            report.journal = JOURNAL_MISSING
+        report.truncated_at = scan.truncated_at
+        report.truncated_reason = scan.truncated_reason
+        if scan.truncated_at is not None and scan.header_ok:
+            AUDIT.emit(
+                "wal.truncated",
+                offset=scan.truncated_at,
+                reason=scan.truncated_reason,
+            )
+
+        # A clean checkpoint only extends a journal of its own
+        # generation; a missing or degraded one takes any committed
+        # records it can get (best-effort salvage — replay stops at the
+        # first record that does not apply).
+        records = scan.records if scan.header_ok else []
+        if (
+            scan.header_ok
+            and report.checkpoint == CKPT_OK
+            and scan.generation != report.generation
+        ):
+            if any(r.seq > report.applied_seq for r in records):
+                report.issues.append(
+                    f"journal generation {scan.generation} does not extend "
+                    f"checkpoint generation {report.generation}; "
+                    f"its records were not replayed"
+                )
+            report.journal = JOURNAL_STALE
+            records = []
+
+        seq = report.applied_seq
+        for record in records:
+            if record.seq <= report.applied_seq:
+                report.records_skipped += 1
+                continue
+            if record.seq != seq + 1:
+                report.replay_stopped = (
+                    f"sequence gap: record {record.seq} after {seq}"
+                )
+                break
+            try:
+                _replay_record(db, record)
+            except Exception as exc:
+                report.replay_stopped = (
+                    f"record {record.seq} ({record.op}) not applicable: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break
+            seq = record.seq
+            report.records_replayed += 1
+        if report.replay_stopped is not None:
+            report.issues.append(f"replay stopped: {report.replay_stopped}")
+
+        if report.records_replayed or report.resilient is not None:
+            _rebuild_indexes(db)
+            report.indexes_rebuilt = True
+
+        AUDIT.emit(
+            "wal.replay",
+            checkpoint=report.checkpoint,
+            journal=report.journal,
+            replayed=report.records_replayed,
+            skipped=report.records_skipped,
+            rebuilt=report.indexes_rebuilt,
+        )
+
+        manager = cls(
+            disk, db, journal, mac,
+            generation=report.generation, seq=seq, recovery=report,
+        )
+        if fresh_disk:
+            journal.reset(manager._generation)
+            report.journal = JOURNAL_CLEAN
+        elif report.degraded or report.journal != JOURNAL_CLEAN:
+            # Fold the recovered state into a fresh checkpoint so the
+            # journal never grows past a torn or stale tail.
+            manager.checkpoint()
+        return manager
+
+    # -- the wrapped engine ---------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # -- journaling core ------------------------------------------------------
+
+    def _commit(self, op: str, payload: bytes) -> JournalRecord:
+        record = JournalRecord(self._seq + 1, op, payload)
+        self._journal.append(record)
+        self._seq = record.seq
+        AUDIT.emit("wal.commit", seq=record.seq, op=op, bytes=len(payload))
+        return record
+
+    def checkpoint(self) -> None:
+        """Fold the current state into the image format, atomically."""
+        image = dump_database(self._db)
+        self._generation += 1
+        blob = encode_checkpoint(self._generation, self._seq, image, self._mac)
+        self._disk.write(CHECKPOINT_TMP, blob)
+        self._disk.sync(CHECKPOINT_TMP)
+        self._disk.rename(CHECKPOINT_TMP, CHECKPOINT_BLOB)
+        self._journal.reset(self._generation)
+        AUDIT.emit(
+            "wal.checkpoint",
+            generation=self._generation,
+            applied_seq=self._seq,
+            bytes=len(blob),
+        )
+
+    # -- journaled mutations --------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._db._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table_id = self._db._next_table_id
+        self._commit(OP_CREATE_TABLE, _encode_create_table(schema, table_id))
+        _apply_create_table(self._db, schema, table_id)
+
+    def create_index(
+        self, name: str, table_name: str, column_name: str,
+        kind: str = "table", order: int = 8,
+    ) -> None:
+        if name in self._db._indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        if kind not in ("table", "btree"):
+            raise SchemaError(f"unknown index kind {kind!r}")
+        table = self._db.table(table_name)
+        table.schema.column_index(column_name)  # validates before journaling
+        index_table_id = self._db._next_table_id
+        self._commit(
+            OP_CREATE_INDEX,
+            _encode_create_index(
+                name, table_name, column_name, kind, order, index_table_id
+            ),
+        )
+        info = self._db.create_index(name, table_name, column_name, kind, order)
+        if info.structure.index_table_id != index_table_id:
+            raise StorageFormatError(
+                f"index build allocated id {info.structure.index_table_id}, "
+                f"journal says {index_table_id}"
+            )
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> int:
+        table = self._db.table(table_name)
+        plain_cells = table.schema.encode_row(values)
+        row_id = table._next_row
+        stored_cells = []
+        for column_pos, plain in enumerate(plain_cells):
+            address = table.address(row_id, column_pos)
+            stored_cells.append(
+                self._db._stored_form(table, column_pos, plain, address)
+            )
+        self._commit(OP_INSERT, _encode_insert(table_name, row_id, stored_cells))
+        _apply_insert(self._db, table_name, row_id, stored_cells)
+        for info in self._db._table_indexes(table_name):
+            column_pos = table.schema.column_index(info.column)
+            info.structure.insert(plain_cells[column_pos], row_id)
+        return row_id
+
+    def update_value(
+        self, table_name: str, row_id: int, column_name: str, value: Any
+    ) -> None:
+        table = self._db.table(table_name)
+        column_pos = table.schema.column_index(column_name)
+        column = table.schema.columns[column_pos]
+        old_plain = self._db._plain_cell(table, row_id, column_pos)
+        new_plain = column.encode(value)
+        address = table.address(row_id, column_pos)
+        stored = self._db._stored_form(table, column_pos, new_plain, address)
+        self._commit(OP_UPDATE, _encode_update(table_name, row_id, column_pos, stored))
+        table.set_cell(row_id, column_pos, stored)
+        for info in self._db.indexes_on(table_name, column_name):
+            info.structure.delete(old_plain, row_id)
+            info.structure.insert(new_plain, row_id)
+
+    def delete_row(self, table_name: str, row_id: int) -> None:
+        table = self._db.table(table_name)
+        table._get_row(row_id)  # validate before journaling
+        index_plains = [
+            (info, self._db._plain_cell(
+                table, row_id, table.schema.column_index(info.column)
+            ))
+            for info in self._db._table_indexes(table_name)
+        ]
+        self._commit(OP_DELETE, _encode_delete(table_name, row_id))
+        for info, plain in index_plains:
+            info.structure.delete(plain, row_id)
+        table.delete_row(row_id)

@@ -1,0 +1,146 @@
+"""Deadline-bounded retries for transient storage failures.
+
+A flaky backend (:class:`~repro.durability.vdisk.FlakyDisk`, or any real
+network disk) fails operations *transiently*: the operation did not
+happen and an identical retry may succeed.  :class:`RetryPolicy` retries
+exactly those failures — capped exponential backoff, full-range jitter
+drawn from :mod:`repro.primitives.rng` (so a seeded policy replays the
+same schedule forever), and a hard deadline after which the last
+underlying error propagates.
+
+Anything that is not a :class:`~repro.errors.TransientDiskError` —
+notably :class:`~repro.errors.StorageFormatError` and
+:class:`~repro.errors.CryptoError`, which signal *corruption*, not
+flakiness — is never retried: retrying an authentication failure only
+hands the adversary more oracle queries.
+
+Timing is injectable: by default the policy runs on an internal virtual
+clock advanced by its own sleeps, so tests (and the crash campaign)
+never actually wait.  Pass ``sleep=time.sleep, clock=time.monotonic``
+for wall-clock behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.errors import TransientDiskError
+from repro.primitives.rng import DeterministicRandom, RandomSource
+
+from repro.durability.vdisk import VirtualDisk
+
+T = TypeVar("T")
+
+#: Only these are retried; everything else propagates on first raise.
+TRANSIENT_ERRORS = (TransientDiskError,)
+
+_JITTER_GRAIN = 1_000_000
+
+
+class RetryPolicy:
+    """Capped exponential backoff with jitter under a hard deadline.
+
+    Attempt *k* (0-based) backs off ``min(max_delay, base_delay * 2**k)``
+    scaled by a jitter factor in ``[1 - jitter, 1]``; when the next
+    sleep would push total elapsed time past ``deadline``, the last
+    underlying error is re-raised instead.
+    """
+
+    def __init__(
+        self,
+        deadline: float = 5.0,
+        base_delay: float = 0.01,
+        max_delay: float = 0.5,
+        jitter: float = 0.5,
+        rng: RandomSource | None = None,
+        sleep: Callable[[float], None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.deadline = deadline
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = rng if rng is not None else DeterministicRandom(b"retry-policy")
+        self._user_sleep = sleep
+        self._user_clock = clock
+        self._virtual_now = 0.0
+
+    # -- timing ---------------------------------------------------------------
+
+    def _now(self) -> float:
+        if self._user_clock is not None:
+            return self._user_clock()
+        return self._virtual_now
+
+    def _sleep(self, seconds: float) -> None:
+        self._virtual_now += seconds
+        if self._user_sleep is not None:
+            self._user_sleep(seconds)
+
+    # -- backoff --------------------------------------------------------------
+
+    def backoff(self, attempt: int) -> float:
+        """The (jittered) delay before retry number ``attempt + 1``."""
+        # Cap the exponent before exponentiating: 2**attempt overflows
+        # float conversion long before max_delay stops dominating.
+        if attempt >= 64:
+            ceiling = self.max_delay
+        else:
+            ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        fraction = self._rng.randint(_JITTER_GRAIN) / _JITTER_GRAIN
+        return ceiling * (1.0 - self.jitter * fraction)
+
+    # -- execution ------------------------------------------------------------
+
+    def call(self, operation: Callable[[], T]) -> T:
+        """Run ``operation``, retrying transient failures until the
+        deadline; re-raises the last transient error on exhaustion."""
+        start = self._now()
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except TRANSIENT_ERRORS as exc:
+                delay = self.backoff(attempt)
+                attempt += 1
+                if self._now() - start + delay > self.deadline:
+                    raise exc
+                self._sleep(delay)
+
+
+class RetryingDisk(VirtualDisk):
+    """A disk whose every operation runs under a :class:`RetryPolicy`."""
+
+    def __init__(self, inner: VirtualDisk, policy: RetryPolicy | None = None) -> None:
+        self._inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+
+    def read(self, name: str) -> bytes:
+        return self.policy.call(lambda: self._inner.read(name))
+
+    def exists(self, name: str) -> bool:
+        return self.policy.call(lambda: self._inner.exists(name))
+
+    def names(self) -> list[str]:
+        return self.policy.call(lambda: self._inner.names())
+
+    def append(self, name: str, data: bytes) -> None:
+        self.policy.call(lambda: self._inner.append(name, data))
+
+    def write(self, name: str, data: bytes) -> None:
+        self.policy.call(lambda: self._inner.write(name, data))
+
+    def rename(self, src: str, dst: str) -> None:
+        self.policy.call(lambda: self._inner.rename(src, dst))
+
+    def delete(self, name: str) -> None:
+        self.policy.call(lambda: self._inner.delete(name))
+
+    def sync(self, name: str) -> None:
+        self.policy.call(lambda: self._inner.sync(name))

@@ -1,0 +1,444 @@
+"""Virtual disks: the write targets the durability layer persists to.
+
+The paper's storage layer is untrusted *and* unreliable: besides the
+deliberate tampering of Sect. 1, every real deployment faces power cuts
+mid-write, torn sectors, write caches that reorder or drop unsynced
+data, and transient I/O errors.  A :class:`VirtualDisk` is a minimal
+named-blob store exposing exactly the operations whose failure
+semantics matter — ``append``/``write``/``rename``/``delete``/``sync``
+— so those failures can be injected deterministically.
+
+Backends:
+
+:class:`MemoryDisk`
+    Dict-backed, with an explicit volatile/durable split: mutations land
+    in the volatile view (the OS page cache) and only ``sync`` — or a
+    flushing ``rename`` — makes them durable.  ``crash()`` simulates a
+    power cut; the surviving bytes are the durable state.
+:class:`FileDisk`
+    A real directory using ``os.replace`` for atomic renames and
+    ``fsync`` for durability.  No fault injection (the real kernel is in
+    charge); exists so the journal can persist across processes.
+:class:`CrashDisk`
+    Wraps a :class:`MemoryDisk` and executes a :class:`CrashPlan`: kill
+    power at the *k*-th mutating operation, optionally applying only a
+    prefix of that operation's bytes (a torn sector) or dropping every
+    unsynced byte (a lost write cache).
+:class:`FlakyDisk`
+    Raises :class:`~repro.errors.TransientDiskError` on a deterministic,
+    seed-driven schedule *before* applying the operation, so a retry is
+    always safe.  Pair with :class:`~repro.durability.retry.RetryingDisk`.
+
+Durability model (documented, deliberately simple): ``sync(name)``
+makes that file's content durable; ``rename`` flushes its source and is
+then metadata-durable (journalling file systems commit the rename
+record); ``delete`` is metadata-durable.  The write-ahead protocol in
+:mod:`repro.durability.manager` only relies on sync-then-rename, which
+is safe under stricter models too.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DiskError, PowerCutError, TransientDiskError
+from repro.primitives.rng import RandomSource
+
+#: Operations that mutate disk state — the write boundaries a crash
+#: campaign enumerates.  Reads never count.
+MUTATING_OPS = ("append", "write", "rename", "delete", "sync")
+
+#: Mutating operations that carry a byte payload and can therefore tear.
+BYTE_OPS = ("append", "write")
+
+
+class VirtualDisk(ABC):
+    """A named-blob store with explicit durability boundaries."""
+
+    # -- reads ---------------------------------------------------------------
+
+    @abstractmethod
+    def read(self, name: str) -> bytes:
+        """Current (volatile) content; raises :class:`DiskError` if absent."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abstractmethod
+    def names(self) -> list[str]:
+        """Sorted names of every existing blob."""
+
+    # -- mutations (each call is one write boundary) -------------------------
+
+    @abstractmethod
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes, creating the blob if needed."""
+
+    @abstractmethod
+    def write(self, name: str, data: bytes) -> None:
+        """Create or truncate-and-replace a blob."""
+
+    @abstractmethod
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically replace ``dst`` with ``src`` (flushes ``src`` first)."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None: ...
+
+    @abstractmethod
+    def sync(self, name: str) -> None:
+        """Make the blob's current content durable."""
+
+
+class MemoryDisk(VirtualDisk):
+    """In-memory disk with a volatile/durable split.
+
+    ``_volatile`` is what reads observe (the page cache); ``_durable``
+    is what survives a power cut.  ``_pending`` tracks blobs whose
+    volatile content is ahead of their durable copy.
+    """
+
+    def __init__(self, initial: dict[str, bytes] | None = None) -> None:
+        self._volatile: dict[str, bytearray] = {}
+        self._durable: dict[str, bytes] = {}
+        self._pending: set[str] = set()
+        if initial:
+            for name, data in initial.items():
+                self._volatile[name] = bytearray(data)
+                self._durable[name] = bytes(data)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        try:
+            return bytes(self._volatile[name])
+        except KeyError:
+            raise DiskError(f"no such blob {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._volatile
+
+    def names(self) -> list[str]:
+        return sorted(self._volatile)
+
+    # -- mutations -----------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        self._volatile.setdefault(name, bytearray()).extend(data)
+        self._pending.add(name)
+
+    def write(self, name: str, data: bytes) -> None:
+        self._volatile[name] = bytearray(data)
+        self._pending.add(name)
+
+    def rename(self, src: str, dst: str) -> None:
+        if src not in self._volatile:
+            raise DiskError(f"cannot rename missing blob {src!r}")
+        # Flush the source (sync-before-rename), then commit the rename
+        # as a metadata operation: journalling file systems persist it.
+        self._durable[src] = bytes(self._volatile[src])
+        self._pending.discard(src)
+        self._volatile[dst] = self._volatile.pop(src)
+        self._durable[dst] = self._durable.pop(src)
+        self._pending.discard(dst)
+
+    def delete(self, name: str) -> None:
+        if name not in self._volatile:
+            raise DiskError(f"cannot delete missing blob {name!r}")
+        del self._volatile[name]
+        self._durable.pop(name, None)
+        self._pending.discard(name)
+
+    def sync(self, name: str) -> None:
+        if name not in self._volatile:
+            raise DiskError(f"cannot sync missing blob {name!r}")
+        self._durable[name] = bytes(self._volatile[name])
+        self._pending.discard(name)
+
+    # -- fault-injection support ----------------------------------------------
+
+    def crash(self, drop_unsynced: bool) -> None:
+        """Simulate a power cut.
+
+        ``drop_unsynced=True`` models a volatile write cache: every
+        pending (unsynced) change is lost and the durable copies win.
+        ``drop_unsynced=False`` models the friendly case where the cache
+        happened to reach the platter before the cut.
+        """
+        if drop_unsynced:
+            self._volatile = {
+                name: bytearray(data) for name, data in self._durable.items()
+            }
+        else:
+            for name in self._pending:
+                self._durable[name] = bytes(self._volatile[name])
+        self._pending.clear()
+
+    def durable_state(self) -> dict[str, bytes]:
+        """The bytes that would survive a power cut right now."""
+        return dict(self._durable)
+
+    def clone(self) -> "MemoryDisk":
+        """An independent copy of the volatile view, fully durable."""
+        return MemoryDisk({name: bytes(data) for name, data in self._volatile.items()})
+
+
+class FileDisk(VirtualDisk):
+    """Real files under one directory; ``os.replace`` + ``fsync``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise DiskError(f"illegal blob name {name!r}")
+        return self._dir / name
+
+    def read(self, name: str) -> bytes:
+        try:
+            return self._path(name).read_bytes()
+        except FileNotFoundError:
+            raise DiskError(f"no such blob {name!r}") from None
+        except OSError as exc:
+            raise DiskError(f"cannot read {name!r}: {exc}") from None
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def names(self) -> list[str]:
+        return sorted(p.name for p in self._dir.iterdir() if p.is_file())
+
+    def append(self, name: str, data: bytes) -> None:
+        try:
+            with open(self._path(name), "ab") as handle:
+                handle.write(data)
+        except OSError as exc:
+            raise DiskError(f"cannot append to {name!r}: {exc}") from None
+
+    def write(self, name: str, data: bytes) -> None:
+        try:
+            with open(self._path(name), "wb") as handle:
+                handle.write(data)
+        except OSError as exc:
+            raise DiskError(f"cannot write {name!r}: {exc}") from None
+
+    def rename(self, src: str, dst: str) -> None:
+        self.sync(src)
+        try:
+            os.replace(self._path(src), self._path(dst))
+            self._sync_directory()
+        except OSError as exc:
+            raise DiskError(f"cannot rename {src!r} -> {dst!r}: {exc}") from None
+
+    def delete(self, name: str) -> None:
+        try:
+            os.unlink(self._path(name))
+            self._sync_directory()
+        except FileNotFoundError:
+            raise DiskError(f"cannot delete missing blob {name!r}") from None
+        except OSError as exc:
+            raise DiskError(f"cannot delete {name!r}: {exc}") from None
+
+    def sync(self, name: str) -> None:
+        try:
+            with open(self._path(name), "rb") as handle:
+                os.fsync(handle.fileno())
+        except FileNotFoundError:
+            raise DiskError(f"cannot sync missing blob {name!r}") from None
+        except OSError as exc:
+            raise DiskError(f"cannot sync {name!r}: {exc}") from None
+
+    def _sync_directory(self) -> None:
+        fd = os.open(self._dir, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Kill the disk at mutating operation ``op_index`` (0-based).
+
+    ``mode``:
+
+    ``"cut"``
+        The interrupted operation is not applied at all; everything
+        written before it (synced or not) happens to survive.
+    ``"torn"``
+        A byte-carrying operation applies only a prefix of its payload —
+        the torn sector — which *does* reach the platter; earlier
+        unsynced bytes survive too.  Non-byte operations fall back to
+        ``"cut"``.
+    ``"drop"``
+        The interrupted operation is not applied *and* the write cache
+        dies with the power: every unsynced byte is lost, only
+        explicitly durable state survives.
+    """
+
+    op_index: int
+    mode: str = "cut"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cut", "torn", "drop"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+        if self.op_index < 0:
+            raise ValueError("op_index must be non-negative")
+
+
+class CrashDisk(VirtualDisk):
+    """Counts write boundaries and executes a :class:`CrashPlan`.
+
+    With ``plan=None`` it is a pure pass-through counter — run the
+    workload once to learn how many boundaries it has, then sweep.
+    After the crash fires, every operation (reads included — the device
+    is gone) raises :class:`~repro.errors.PowerCutError`.
+    """
+
+    def __init__(self, inner: MemoryDisk, plan: CrashPlan | None = None) -> None:
+        self._inner = inner
+        self._plan = plan
+        self.op_count = 0
+        #: Kind of every boundary seen so far, e.g. ``["write", "sync"]``
+        #: — a pass-through run records which boundaries can tear.
+        self.op_log: list[str] = []
+        self.crashed = False
+
+    # -- crash machinery ------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise PowerCutError("disk lost power")
+
+    def _boundary(self, op: str, name: str, data: bytes | None) -> bool:
+        """Advance the op counter; True when the caller should proceed."""
+        self._check_alive()
+        index = self.op_count
+        self.op_count += 1
+        self.op_log.append(op)
+        if self._plan is None or index != self._plan.op_index:
+            return True
+        # This operation is the one the power cut interrupts.
+        mode = self._plan.mode
+        if mode == "torn" and op in BYTE_OPS and data:
+            torn = data[: (len(data) + 1) // 2]
+            getattr(self._inner, op)(name, torn)
+            # The torn sector physically reached the medium mid-write.
+            self._inner.sync(name)
+            self._inner.crash(drop_unsynced=False)
+        else:
+            self._inner.crash(drop_unsynced=(mode == "drop"))
+        self.crashed = True
+        raise PowerCutError(
+            f"power cut at write boundary {index} ({op} {name!r}, {mode})"
+        )
+
+    def survivor(self) -> MemoryDisk:
+        """A fresh disk holding exactly the bytes that survived the cut."""
+        return MemoryDisk(self._inner.durable_state())
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        self._check_alive()
+        return self._inner.read(name)
+
+    def exists(self, name: str) -> bool:
+        self._check_alive()
+        return self._inner.exists(name)
+
+    def names(self) -> list[str]:
+        self._check_alive()
+        return self._inner.names()
+
+    # -- mutations -----------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        if self._boundary("append", name, data):
+            self._inner.append(name, data)
+
+    def write(self, name: str, data: bytes) -> None:
+        if self._boundary("write", name, data):
+            self._inner.write(name, data)
+
+    def rename(self, src: str, dst: str) -> None:
+        if self._boundary("rename", src, None):
+            self._inner.rename(src, dst)
+
+    def delete(self, name: str) -> None:
+        if self._boundary("delete", name, None):
+            self._inner.delete(name)
+
+    def sync(self, name: str) -> None:
+        if self._boundary("sync", name, None):
+            self._inner.sync(name)
+
+
+class FlakyDisk(VirtualDisk):
+    """Injects transient failures on a deterministic seeded schedule.
+
+    The failure fires *before* the operation touches the inner disk, so
+    a failed operation has no partial effects and retrying it is always
+    safe — the contract :class:`~repro.errors.TransientDiskError`
+    promises.  ``fail_rate`` is the per-operation failure probability in
+    [0, 1); draws come from :mod:`repro.primitives.rng`, so a fixed seed
+    gives a fixed schedule.
+    """
+
+    def __init__(
+        self,
+        inner: VirtualDisk,
+        rng: RandomSource,
+        fail_rate: float = 0.3,
+        fail_reads: bool = True,
+    ) -> None:
+        if not 0.0 <= fail_rate < 1.0:
+            raise ValueError("fail_rate must be in [0, 1)")
+        self._inner = inner
+        self._rng = rng
+        self._threshold = int(fail_rate * 1_000_000)
+        self._fail_reads = fail_reads
+        self.failures_injected = 0
+
+    def _maybe_fail(self, op: str, name: str, is_read: bool = False) -> None:
+        if is_read and not self._fail_reads:
+            return
+        if self._rng.randint(1_000_000) < self._threshold:
+            self.failures_injected += 1
+            raise TransientDiskError(f"injected transient failure ({op} {name!r})")
+
+    def read(self, name: str) -> bytes:
+        self._maybe_fail("read", name, is_read=True)
+        return self._inner.read(name)
+
+    def exists(self, name: str) -> bool:
+        self._maybe_fail("exists", name, is_read=True)
+        return self._inner.exists(name)
+
+    def names(self) -> list[str]:
+        self._maybe_fail("names", "*", is_read=True)
+        return self._inner.names()
+
+    def append(self, name: str, data: bytes) -> None:
+        self._maybe_fail("append", name)
+        self._inner.append(name, data)
+
+    def write(self, name: str, data: bytes) -> None:
+        self._maybe_fail("write", name)
+        self._inner.write(name, data)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._maybe_fail("rename", src)
+        self._inner.rename(src, dst)
+
+    def delete(self, name: str) -> None:
+        self._maybe_fail("delete", name)
+        self._inner.delete(name)
+
+    def sync(self, name: str) -> None:
+        self._maybe_fail("sync", name)
+        self._inner.sync(name)

@@ -90,6 +90,23 @@ class IndexCorruptionError(EngineError):
     """An index invariant was violated (detected tampering or bugs)."""
 
 
+class DiskError(ReproError):
+    """Base class for write-target (virtual disk) failures."""
+
+
+class TransientDiskError(DiskError):
+    """A transient I/O failure: the operation did not happen, but an
+    identical retry may succeed (flaky network storage, EINTR, a
+    momentarily saturated device).  The only disk error a
+    :class:`~repro.durability.retry.RetryPolicy` retries."""
+
+
+class PowerCutError(DiskError):
+    """The disk lost power mid-operation.  Everything not yet durable is
+    gone and every subsequent operation on the same handle fails; only a
+    fresh mount of the surviving bytes can continue."""
+
+
 class SessionError(ReproError):
     """The trusted-session key-handover protocol was misused."""
 

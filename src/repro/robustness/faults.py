@@ -257,35 +257,84 @@ class FaultSpec:
         return f"{label}@{self.target}" if self.target else label
 
     def apply(self, image: bytes) -> bytes:
-        """Return the corrupted image (the input is never modified)."""
+        """Return the corrupted image (the input is never modified).
+
+        A spec is positional: it only makes sense on an image shaped
+        like the one it was planned against.  Offsets or lengths outside
+        the image raise :class:`ValueError` — Python's forgiving slice
+        semantics would otherwise turn a mis-applied spec into a silent
+        no-op (or a differently-shaped fault), corrupting the campaign's
+        bookkeeping instead of the image.
+        """
         data = bytearray(image)
         kind, params = self.kind, self.params
+
+        def check(condition: bool, what: str) -> None:
+            if not condition:
+                raise ValueError(
+                    f"fault {self.name} does not fit a {len(image)}-byte "
+                    f"image: {what}"
+                )
+
         if kind == "bitflip":                      # (offset, bit)
             offset, bit = params
+            check(0 <= offset < len(data), f"offset {offset} out of range")
+            check(0 <= bit < 8, f"bit {bit} out of range")
             data[offset] ^= 1 << bit
         elif kind == "multi-bitflip":              # (off, bit, off, bit, ...)
+            check(len(params) % 2 == 0, "odd parameter count")
             for i in range(0, len(params), 2):
-                data[params[i]] ^= 1 << params[i + 1]
+                offset, bit = params[i], params[i + 1]
+                check(0 <= offset < len(data), f"offset {offset} out of range")
+                check(0 <= bit < 8, f"bit {bit} out of range")
+                data[offset] ^= 1 << bit
         elif kind == "block-corrupt":              # (offset, length, pad_seed)
             offset, length, pad_seed = params
+            check(offset >= 0 and length >= 0, "negative offset or length")
+            check(
+                offset + length <= len(data),
+                f"span [{offset}, {offset + length}) past the end",
+            )
             junk = random.Random(pad_seed).randbytes(length)
             data[offset:offset + length] = junk
         elif kind == "truncate":                   # (keep,)
             (keep,) = params
+            check(0 <= keep <= len(data), f"keep {keep} out of range")
             del data[keep:]
         elif kind == "record-delete":              # (start, end, count_offset)
             start, end, count_offset = params
+            check(0 <= start <= end <= len(data), "record span out of range")
+            # The count field frames the records, so it precedes them;
+            # a count offset inside or after the span would also shift
+            # once the splice happens.
+            check(
+                0 <= count_offset and count_offset + 8 <= start,
+                f"count offset {count_offset} not before the record",
+            )
             del data[start:end]
             _bump_count(data, count_offset, -1)
         elif kind == "record-duplicate":           # (start, end, count_offset)
             start, end, count_offset = params
+            check(0 <= start <= end <= len(data), "record span out of range")
+            check(
+                0 <= count_offset and count_offset + 8 <= start,
+                f"count offset {count_offset} not before the record",
+            )
             data[end:end] = data[start:end]
             _bump_count(data, count_offset, +1)
         elif kind == "pointer-scramble":           # (offset, new_value)
             offset, value = params
+            check(
+                0 <= offset and offset + 8 <= len(data),
+                f"pointer at {offset} past the end",
+            )
             data[offset:offset + 8] = struct.pack(">q", value)
         elif kind == "payload-swap":               # (a_start, a_end, b_start, b_end)
             a_start, a_end, b_start, b_end = params
+            check(
+                0 <= a_start <= a_end <= b_start <= b_end <= len(data),
+                "spans out of order or out of range",
+            )
             a, b = data[a_start:a_end], data[b_start:b_end]
             data = (
                 data[:a_start] + b + data[a_end:b_start] + a + data[b_end:]

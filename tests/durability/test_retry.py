@@ -1,0 +1,138 @@
+"""RetryPolicy: deterministic schedules, deadlines, and non-retryables."""
+
+import pytest
+
+from repro.durability.retry import RetryingDisk, RetryPolicy
+from repro.durability.vdisk import FlakyDisk, MemoryDisk
+from repro.errors import (
+    AuthenticationError,
+    StorageFormatError,
+    TransientDiskError,
+)
+from repro.primitives.rng import DeterministicRandom
+
+
+def flaky_operation(failures: int, result: str = "done"):
+    """An operation that fails transiently ``failures`` times, then wins."""
+    remaining = [failures]
+
+    def operation():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            raise TransientDiskError(f"flake {remaining[0]}")
+        return result
+
+    return operation
+
+
+def test_retries_until_success():
+    policy = RetryPolicy(rng=DeterministicRandom(b"seed"))
+    assert policy.call(flaky_operation(3)) == "done"
+
+
+def test_backoff_schedule_is_deterministic_under_a_seed():
+    def schedule() -> list[float]:
+        sleeps: list[float] = []
+        policy = RetryPolicy(
+            deadline=100.0,
+            rng=DeterministicRandom(b"fixed-seed"),
+            sleep=sleeps.append,
+        )
+        policy.call(flaky_operation(6))
+        return sleeps
+
+    first, second = schedule(), schedule()
+    assert first == second
+    assert len(first) == 6
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_delay=0.01, max_delay=0.5, jitter=0.0,
+        rng=DeterministicRandom(b"s"),
+    )
+    delays = [policy.backoff(attempt) for attempt in range(10)]
+    assert delays[:4] == [0.01, 0.02, 0.04, 0.08]
+    assert delays[-1] == 0.5  # capped
+
+
+def test_jitter_shrinks_but_never_grows_the_delay():
+    policy = RetryPolicy(jitter=0.5, rng=DeterministicRandom(b"s"))
+    for attempt in range(8):
+        ceiling = min(policy.max_delay, policy.base_delay * 2 ** attempt)
+        delay = policy.backoff(attempt)
+        assert ceiling * 0.5 <= delay <= ceiling
+
+
+def test_deadline_exhaustion_reraises_the_last_error():
+    raised: list[str] = []
+
+    def always_fails():
+        message = f"flake {len(raised)}"
+        raised.append(message)
+        raise TransientDiskError(message)
+
+    policy = RetryPolicy(deadline=0.1, rng=DeterministicRandom(b"s"))
+    with pytest.raises(TransientDiskError) as excinfo:
+        policy.call(always_fails)
+    # The error that escapes is exactly the last one the backend raised.
+    assert str(excinfo.value) == raised[-1]
+    assert 1 < len(raised) < 100  # it retried, but the deadline stopped it
+
+
+def test_zero_retries_for_corruption_errors():
+    attempts = []
+
+    def fails_with(error):
+        def operation():
+            attempts.append(1)
+            raise error
+        return operation
+
+    policy = RetryPolicy(rng=DeterministicRandom(b"s"))
+    with pytest.raises(StorageFormatError):
+        policy.call(fails_with(StorageFormatError("mangled image")))
+    assert len(attempts) == 1
+    attempts.clear()
+    with pytest.raises(AuthenticationError):
+        policy.call(fails_with(AuthenticationError("bad tag")))
+    assert len(attempts) == 1
+
+
+def test_virtual_clock_never_wall_sleeps():
+    # No sleep/clock injected: the policy's own virtual clock advances,
+    # so even deadline exhaustion completes instantly in wall time.
+    import time
+
+    policy = RetryPolicy(deadline=1000.0, rng=DeterministicRandom(b"s"))
+    start = time.perf_counter()
+    with pytest.raises(TransientDiskError):
+        policy.call(flaky_operation(10_000))
+    assert time.perf_counter() - start < 5.0
+    assert policy._virtual_now > 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=1.0, max_delay=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_retrying_disk_masks_a_flaky_backend():
+    inner = MemoryDisk()
+    flaky = FlakyDisk(inner, DeterministicRandom(b"flaky"), fail_rate=0.4)
+    disk = RetryingDisk(
+        flaky, RetryPolicy(deadline=60.0, rng=DeterministicRandom(b"retry"))
+    )
+    for i in range(30):
+        disk.append("log", bytes([i]))
+        disk.sync("log")
+    assert disk.read("log") == bytes(range(30))
+    assert flaky.failures_injected > 0
+    # The retries left no partial effects behind.
+    assert inner.read("log") == bytes(range(30))

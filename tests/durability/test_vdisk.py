@@ -1,0 +1,205 @@
+"""Virtual disks: durability semantics, crash plans, flaky injection."""
+
+import pytest
+
+from repro.durability.vdisk import (
+    CrashDisk,
+    CrashPlan,
+    FileDisk,
+    FlakyDisk,
+    MemoryDisk,
+)
+from repro.errors import DiskError, PowerCutError, TransientDiskError
+from repro.primitives.rng import DeterministicRandom
+
+
+# -- MemoryDisk ---------------------------------------------------------------
+
+def test_memory_disk_round_trip():
+    disk = MemoryDisk()
+    disk.write("a", b"hello")
+    disk.append("a", b" world")
+    assert disk.read("a") == b"hello world"
+    assert disk.exists("a")
+    assert disk.names() == ["a"]
+    disk.delete("a")
+    assert not disk.exists("a")
+
+
+def test_memory_disk_missing_blob_raises_disk_error():
+    disk = MemoryDisk()
+    with pytest.raises(DiskError):
+        disk.read("ghost")
+    with pytest.raises(DiskError):
+        disk.delete("ghost")
+    with pytest.raises(DiskError):
+        disk.sync("ghost")
+    with pytest.raises(DiskError):
+        disk.rename("ghost", "other")
+
+
+def test_unsynced_writes_die_in_a_power_cut():
+    disk = MemoryDisk()
+    disk.write("a", b"synced")
+    disk.sync("a")
+    disk.append("a", b" unsynced")
+    disk.write("b", b"never synced")
+    disk.crash(drop_unsynced=True)
+    assert disk.read("a") == b"synced"
+    assert not disk.exists("b")
+
+
+def test_friendly_crash_keeps_the_cache():
+    disk = MemoryDisk()
+    disk.write("a", b"unsynced but lucky")
+    disk.crash(drop_unsynced=False)
+    assert disk.durable_state() == {"a": b"unsynced but lucky"}
+
+
+def test_rename_flushes_source_and_replaces_destination():
+    disk = MemoryDisk()
+    disk.write("dst", b"old")
+    disk.sync("dst")
+    disk.write("tmp", b"new")   # never explicitly synced
+    disk.rename("tmp", "dst")
+    disk.crash(drop_unsynced=True)
+    assert disk.read("dst") == b"new"
+    assert not disk.exists("tmp")
+
+
+def test_durable_state_is_a_snapshot():
+    disk = MemoryDisk()
+    disk.write("a", b"v1")
+    disk.sync("a")
+    state = disk.durable_state()
+    disk.write("a", b"v2")
+    disk.sync("a")
+    assert state == {"a": b"v1"}
+
+
+# -- FileDisk -----------------------------------------------------------------
+
+def test_file_disk_round_trip(tmp_path):
+    disk = FileDisk(tmp_path / "blobs")
+    disk.write("wal", b"abc")
+    disk.append("wal", b"def")
+    disk.sync("wal")
+    disk.rename("wal", "wal2")
+    assert disk.read("wal2") == b"abcdef"
+    assert disk.names() == ["wal2"]
+    disk.delete("wal2")
+    assert not disk.exists("wal2")
+    with pytest.raises(DiskError):
+        disk.read("wal2")
+
+
+def test_file_disk_rejects_path_escapes(tmp_path):
+    disk = FileDisk(tmp_path)
+    with pytest.raises(DiskError):
+        disk.write("../escape", b"x")
+    with pytest.raises(DiskError):
+        disk.read(".hidden")
+
+
+# -- CrashDisk ----------------------------------------------------------------
+
+def test_pass_through_counts_and_logs_boundaries():
+    disk = CrashDisk(MemoryDisk())
+    disk.write("a", b"x")
+    disk.sync("a")
+    disk.append("a", b"y")
+    disk.read("a")              # reads are not boundaries
+    disk.rename("a", "b")
+    assert disk.op_count == 4
+    assert disk.op_log == ["write", "sync", "append", "rename"]
+    assert not disk.crashed
+
+
+def test_cut_drops_the_interrupted_operation():
+    disk = CrashDisk(MemoryDisk(), CrashPlan(1, "cut"))
+    disk.write("a", b"first")
+    with pytest.raises(PowerCutError):
+        disk.write("a", b"second")
+    assert disk.crashed
+    assert disk.survivor().read("a") == b"first"
+
+
+def test_after_the_crash_every_operation_raises():
+    disk = CrashDisk(MemoryDisk(), CrashPlan(0, "cut"))
+    with pytest.raises(PowerCutError):
+        disk.write("a", b"x")
+    with pytest.raises(PowerCutError):
+        disk.read("a")
+    with pytest.raises(PowerCutError):
+        disk.sync("a")
+
+
+def test_torn_write_applies_a_prefix():
+    disk = CrashDisk(MemoryDisk(), CrashPlan(1, "torn"))
+    disk.append("wal", b"AAAA")
+    with pytest.raises(PowerCutError):
+        disk.append("wal", b"BBBBBBBB")
+    survivor = disk.survivor()
+    assert survivor.read("wal") == b"AAAA" + b"BBBB"  # half the payload
+
+
+def test_torn_on_a_payload_free_op_degrades_to_cut():
+    disk = CrashDisk(MemoryDisk(), CrashPlan(1, "torn"))
+    disk.write("a", b"x")
+    with pytest.raises(PowerCutError):
+        disk.sync("a")
+    assert disk.survivor().read("a") == b"x"
+
+
+def test_drop_loses_every_unsynced_byte():
+    disk = CrashDisk(MemoryDisk(), CrashPlan(3, "drop"))
+    disk.write("a", b"synced")
+    disk.sync("a")
+    disk.append("a", b" cached")     # applied, never synced
+    with pytest.raises(PowerCutError):
+        disk.write("b", b"boom")
+    assert disk.survivor().read("a") == b"synced"
+    assert not disk.survivor().exists("b")
+
+
+def test_crash_plan_validates_its_fields():
+    with pytest.raises(ValueError):
+        CrashPlan(0, "meteor")
+    with pytest.raises(ValueError):
+        CrashPlan(-1, "cut")
+
+
+# -- FlakyDisk ----------------------------------------------------------------
+
+def test_flaky_failures_are_deterministic_and_harmless():
+    def run() -> tuple[int, bytes]:
+        inner = MemoryDisk()
+        flaky = FlakyDisk(inner, DeterministicRandom(b"flaky-seed"), fail_rate=0.5)
+        written = 0
+        for i in range(50):
+            try:
+                flaky.append("log", bytes([i]))
+                written += 1
+            except TransientDiskError:
+                pass
+        return flaky.failures_injected, inner.read("log")
+
+    first, second = run(), run()
+    assert first == second
+    assert first[0] > 0                      # some failures fired
+    assert len(first[1]) == 50 - first[0]    # failed ops left no bytes
+
+
+def test_flaky_can_spare_reads():
+    inner = MemoryDisk()
+    inner.write("a", b"x")
+    flaky = FlakyDisk(
+        inner, DeterministicRandom(b"seed"), fail_rate=0.99, fail_reads=False
+    )
+    for _ in range(20):
+        assert flaky.read("a") == b"x"
+
+
+def test_flaky_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        FlakyDisk(MemoryDisk(), DeterministicRandom(b"s"), fail_rate=1.0)

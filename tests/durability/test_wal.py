@@ -1,0 +1,209 @@
+"""Journal framing: commit markers, truncation, prefix fuzz, checkpoints."""
+
+from repro.core.keys import KeyRing
+from repro.durability.vdisk import MemoryDisk
+from repro.durability.wal import (
+    Journal,
+    JournalRecord,
+    decode_checkpoint,
+    encode_checkpoint,
+    encode_journal_header,
+    encode_record,
+    journal_mac,
+    scan_journal,
+)
+
+MAC = journal_mac(KeyRing(b"wal-test-master-key-0123456789ab"))
+OTHER_MAC = journal_mac(KeyRing(b"other-master-key-0123456789abcde"))
+
+
+def build_journal(records: list[JournalRecord], generation: int = 1) -> bytes:
+    blob = encode_journal_header(generation)
+    for record in records:
+        blob += encode_record(record, MAC)
+    return blob
+
+
+def sample_records(count: int) -> list[JournalRecord]:
+    return [
+        JournalRecord(seq, f"op-{seq % 3}", bytes([seq % 256]) * (5 + seq % 7))
+        for seq in range(1, count + 1)
+    ]
+
+
+# -- scanning -----------------------------------------------------------------
+
+def test_clean_journal_scans_completely():
+    records = sample_records(5)
+    scan = scan_journal(build_journal(records, generation=7), MAC)
+    assert scan.clean
+    assert scan.header_ok
+    assert scan.generation == 7
+    assert scan.records == records
+
+
+def test_torn_tail_is_truncated_not_fatal():
+    records = sample_records(3)
+    blob = build_journal(records)
+    scan = scan_journal(blob[:-4], MAC)
+    assert not scan.clean
+    assert scan.records == records[:2]
+    assert "torn record" in scan.truncated_reason
+
+
+def test_unauthenticated_record_truncates():
+    records = sample_records(2)
+    blob = build_journal(records[:1]) + encode_record(records[1], OTHER_MAC)
+    scan = scan_journal(blob, MAC)
+    assert scan.records == records[:1]
+    assert "commit marker" in scan.truncated_reason
+
+
+def test_tampered_payload_fails_the_commit_marker():
+    blob = bytearray(build_journal(sample_records(1)))
+    blob[-40] ^= 0x01  # somewhere inside payload/tag
+    scan = scan_journal(bytes(blob), MAC)
+    assert scan.records == []
+    assert scan.truncated_at is not None
+
+
+def test_sequence_break_truncates():
+    records = [JournalRecord(1, "a", b"x"), JournalRecord(3, "b", b"y")]
+    scan = scan_journal(build_journal(records), MAC)
+    assert [r.seq for r in scan.records] == [1]
+    assert "sequence break" in scan.truncated_reason
+
+
+def test_garbage_header_is_unusable_not_fatal():
+    scan = scan_journal(b"NOTAWAL!!" + b"\x00" * 16, MAC)
+    assert not scan.header_ok
+    assert scan.truncated_at == 0
+
+
+def test_every_journal_prefix_scans_without_raising():
+    """The truncation-at-every-offset fuzz from tests/robustness, aimed
+    at the journal: every prefix either replays cleanly or is cut at a
+    record boundary — no exception ever escapes."""
+    records = sample_records(6)
+    blob = build_journal(records)
+    bounds = []
+    offset = len(encode_journal_header(1))
+    for record in records:
+        encoded = encode_record(record, MAC)
+        bounds.append((offset, offset + len(encoded)))
+        offset += len(encoded)
+    assert offset == len(blob)
+
+    for keep in range(len(blob) + 1):
+        scan = scan_journal(blob[:keep], MAC)  # must not raise
+        if not scan.header_ok:
+            assert keep < len(encode_journal_header(1))
+            continue
+        # Exactly the fully-contained records commit...
+        complete = sum(1 for _, end in bounds if end <= keep)
+        assert scan.records == records[:complete]
+        if any(start < keep < end for start, end in bounds):
+            # ...and a cut mid-record truncates at that record's start.
+            assert scan.truncated_at == bounds[complete][0]
+        else:
+            assert scan.clean  # cut at a record boundary reads clean
+
+
+def test_bitflips_anywhere_never_raise_and_never_forge():
+    records = sample_records(4)
+    blob = build_journal(records)
+    for offset in range(len(blob)):
+        mutated = bytearray(blob)
+        mutated[offset] ^= 0x40
+        scan = scan_journal(bytes(mutated), MAC)  # must not raise
+        # Whatever commits must be records we actually wrote: a flip can
+        # shorten the committed prefix, never alter or extend it.
+        assert scan.records == records[: len(scan.records)]
+        if scan.header_ok:
+            assert len(scan.records) < len(records) or scan.generation != 1
+
+
+# -- the Journal object -------------------------------------------------------
+
+def test_journal_append_and_scan_round_trip():
+    disk = MemoryDisk()
+    journal = Journal(disk, MAC)
+    journal.reset(3)
+    for record in sample_records(4):
+        journal.append(record)
+    scan = journal.scan()
+    assert scan.clean
+    assert scan.generation == 3
+    assert scan.records == sample_records(4)
+    # Appends are synced at commit: everything survives a power cut.
+    disk.crash(drop_unsynced=True)
+    assert journal.scan().records == sample_records(4)
+
+
+def test_missing_journal_reads_as_truncated_at_zero():
+    scan = Journal(MemoryDisk(), MAC).scan()
+    assert not scan.header_ok
+    assert scan.truncated_at == 0
+    assert "missing" in scan.truncated_reason
+
+
+def test_reset_is_atomic_via_rename():
+    disk = MemoryDisk()
+    journal = Journal(disk, MAC)
+    journal.reset(1)
+    journal.append(JournalRecord(1, "op", b"payload"))
+    journal.reset(2)
+    scan = journal.scan()
+    assert scan.clean and scan.generation == 2 and scan.records == []
+    assert not disk.exists("wal.tmp")
+
+
+# -- checkpoints --------------------------------------------------------------
+
+def test_checkpoint_round_trip():
+    blob = encode_checkpoint(5, 17, b"IMAGEBYTES", MAC)
+    record = decode_checkpoint(blob, MAC)
+    assert record.ok
+    assert (record.generation, record.applied_seq) == (5, 17)
+    assert record.image == b"IMAGEBYTES"
+
+
+def test_checkpoint_rejects_wrong_mac_but_keeps_the_image():
+    blob = encode_checkpoint(5, 17, b"IMAGEBYTES", OTHER_MAC)
+    record = decode_checkpoint(blob, MAC)
+    assert record.status == "unauthenticated"
+    assert record.image == b"IMAGEBYTES"  # available for resilient salvage
+
+
+def test_checkpoint_field_tampering_is_detected():
+    blob = bytearray(encode_checkpoint(5, 17, b"IMAGEBYTES", MAC))
+    blob[10] ^= 0x01  # inside generation
+    record = decode_checkpoint(bytes(blob), MAC)
+    assert not record.ok
+
+
+def test_checkpoint_every_prefix_decodes_without_raising():
+    blob = encode_checkpoint(2, 9, b"I" * 100, MAC)
+    for keep in range(len(blob) + 1):
+        record = decode_checkpoint(blob[:keep], MAC)  # must not raise
+        assert record.ok == (keep == len(blob))
+
+
+def test_checkpoint_trailing_garbage_is_unauthenticated():
+    blob = encode_checkpoint(2, 9, b"IMG", MAC) + b"JUNK"
+    record = decode_checkpoint(blob, MAC)
+    assert record.status == "unauthenticated"
+
+
+def test_mac_uses_its_own_derived_key():
+    keys = KeyRing(b"wal-test-master-key-0123456789ab")
+    assert keys.derive("journal-mac", 32) != keys.derive("cell", 32)
+    tag = journal_mac(keys).tag(b"m")
+    assert journal_mac(keys).verify(b"m", tag)
+
+
+def test_empty_and_tiny_blobs_scan_without_raising():
+    for blob in (b"", b"R", b"REPROWAL1", b"REPROWAL1\x00"):
+        scan = scan_journal(blob, MAC)
+        assert scan.records == []
+        assert not scan.clean

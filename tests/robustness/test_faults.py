@@ -153,3 +153,59 @@ def test_unknown_fault_kind_rejected():
 def test_spec_name_is_replay_friendly():
     spec = FaultSpec("bitflip", 3, (17, 5), target="t(r=0,c=1)")
     assert spec.name == "bitflip#3(17,5)@t(r=0,c=1)"
+
+
+# -- bounds validation: a spec planned for one image must not silently
+# -- degrade on a differently-shaped one (Python slices never raise, so
+# -- apply() has to check explicitly).
+
+def test_apply_rejects_out_of_image_offsets():
+    image = b"\x00" * 64
+    out_of_bounds = [
+        FaultSpec("bitflip", 0, (64, 0)),             # offset == len
+        FaultSpec("bitflip", 0, (-1, 0)),             # negative offset
+        FaultSpec("bitflip", 0, (3, 8)),              # bit out of range
+        FaultSpec("multi-bitflip", 0, (3, 1, 200, 0)),
+        FaultSpec("multi-bitflip", 0, (3, 1, 5)),     # odd param count
+        FaultSpec("block-corrupt", 0, (60, 16, 7)),   # spans past the end
+        FaultSpec("block-corrupt", 0, (-4, 16, 7)),
+        FaultSpec("truncate", 0, (65,)),              # keep > len
+        FaultSpec("truncate", 0, (-1,)),
+        FaultSpec("record-delete", 0, (40, 80, 8)),   # end past the image
+        FaultSpec("record-delete", 0, (40, 30, 8)),   # start > end
+        FaultSpec("record-delete", 0, (40, 48, 36)),  # count inside span
+        FaultSpec("record-duplicate", 0, (40, 80, 8)),
+        FaultSpec("record-duplicate", 0, (10, 20, 30)),  # count after span
+        FaultSpec("pointer-scramble", 0, (60, 1)),    # 8 octets don't fit
+        FaultSpec("payload-swap", 0, (8, 16, 12, 24)),   # overlapping spans
+        FaultSpec("payload-swap", 0, (8, 16, 60, 72)),   # b_end past the end
+        FaultSpec("payload-swap", 0, (16, 24, 8, 12)),   # out of order
+    ]
+    for spec in out_of_bounds:
+        with pytest.raises(ValueError, match="does not fit"):
+            spec.apply(image)
+
+
+def test_apply_bounds_error_names_the_spec():
+    with pytest.raises(ValueError, match=r"truncate#0\(99\)"):
+        FaultSpec("truncate", 0, (99,)).apply(b"\x00" * 64)
+
+
+def test_in_bounds_edge_cases_still_apply():
+    image = bytes(range(64))
+    # Last byte, highest bit.
+    assert FaultSpec("bitflip", 0, (63, 7)).apply(image) != image
+    # truncate keeping everything is a structural no-op.
+    assert FaultSpec("truncate", 0, (64,)).apply(image) == image
+    # Pointer flush against the end of the image.
+    assert FaultSpec("pointer-scramble", 0, (56, -1)).apply(image) != image
+    # Adjacent, touching swap spans.
+    swapped = FaultSpec("payload-swap", 0, (8, 16, 16, 24)).apply(image)
+    assert swapped == image[:8] + image[16:24] + image[8:16] + image[24:]
+
+
+def test_every_planned_fault_stays_in_bounds():
+    # The planner only emits specs that apply() accepts on their image.
+    image = build_image()
+    for spec in plan_faults(image, 40):
+        spec.apply(image)  # must not raise
