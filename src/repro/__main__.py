@@ -40,6 +40,17 @@ Commands:
   a replay of the captured events, and exit non-zero on any mismatch.
   ``--log-dir`` persists per-configuration event logs and metric
   snapshots.
+* ``trace --out PATH [--scenario NAME] [--configs slug,...]`` — run a
+  traced query workload (scenarios: point_query, range_query; default
+  point_query) for each named configuration and export every span as
+  Chrome trace-event JSON (open in Perfetto or chrome://tracing); the
+  document header embeds the workload seed, configuration names, git
+  describe, and interpreter version.
+* ``explain <scenario> [--configs slug,...]`` — EXPLAIN ANALYZE for
+  the encrypted database: run the scenario per configuration and print
+  each query's per-operator profile (wall time, bytes, measured vs
+  Sect.-4-predicted blockcipher invocations); exits non-zero if any
+  per-query measured count diverges from the analytic model.
 """
 
 from __future__ import annotations
@@ -527,6 +538,126 @@ def _audit(argv: list[str]) -> int:
     return _audit_replay(log_path, metrics_jsonl, metrics_prom)
 
 
+def _resolve_explain_configs(config_slugs: list[str] | None) -> list:
+    from repro.observability.leakmon import CONFIG_SLUGS
+    from repro.robustness.campaign import default_campaign_configs
+
+    by_label = dict(default_campaign_configs())
+    if config_slugs is None:
+        config_slugs = list(CONFIG_SLUGS)
+    unknown = [slug for slug in config_slugs if slug not in CONFIG_SLUGS]
+    if unknown:
+        raise UsageError(
+            f"unknown configuration slug(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(CONFIG_SLUGS)}"
+        )
+    if not config_slugs:
+        raise UsageError(
+            f"no configurations selected; available: {', '.join(CONFIG_SLUGS)}"
+        )
+    return [(CONFIG_SLUGS[slug], by_label[CONFIG_SLUGS[slug]]) for slug in config_slugs]
+
+
+def _trace(argv: list[str]) -> int:
+    from repro.bench.explain import (
+        EXPLAIN_SCENARIOS,
+        explain_metadata,
+        trace_scenario,
+    )
+    from repro.observability.traceexport import write_chrome_trace
+
+    scenario = "point_query"
+    out: str | None = None
+    config_slugs: list[str] | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--scenario" or arg.startswith("--scenario="):
+            scenario = _flag_value(arg, args, "--scenario")
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg == "--out" or arg.startswith("--out="):
+            out = _flag_value(arg, args, "--out")
+        else:
+            raise UsageError(f"unknown trace argument {arg!r}")
+    if out is None:
+        raise UsageError("trace requires --out PATH")
+    if scenario not in EXPLAIN_SCENARIOS:
+        raise UsageError(
+            f"unknown trace scenario {scenario!r}; "
+            f"available: {', '.join(EXPLAIN_SCENARIOS)}"
+        )
+    configs = _resolve_explain_configs(config_slugs)
+
+    spans = []
+    for label, config in configs:
+        result = trace_scenario(scenario, label, config)
+        if result.skipped is not None:
+            print(f"skipped {label}: {result.skipped}")
+            continue
+        spans.extend(result.spans)
+    metadata = explain_metadata(scenario, [label for label, _ in configs])
+    path = write_chrome_trace(out, spans, metadata)
+    print(
+        f"{len(spans)} spans from scenario {scenario!r} written to {path} "
+        "(open in Perfetto or chrome://tracing)"
+    )
+    return 0
+
+
+def _explain(argv: list[str]) -> int:
+    from repro.bench.explain import (
+        EXPLAIN_SCENARIOS,
+        render_explain_report,
+        trace_scenario,
+    )
+
+    scenario: str | None = None
+    config_slugs: list[str] | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg.startswith("--"):
+            raise UsageError(f"unknown explain argument {arg!r}")
+        elif scenario is None:
+            scenario = arg
+        else:
+            raise UsageError("explain takes exactly one scenario")
+    if scenario is None:
+        raise UsageError(
+            f"explain requires a scenario; available: {', '.join(EXPLAIN_SCENARIOS)}"
+        )
+    if scenario not in EXPLAIN_SCENARIOS:
+        raise UsageError(
+            f"unknown explain scenario {scenario!r}; "
+            f"available: {', '.join(EXPLAIN_SCENARIOS)}"
+        )
+    configs = _resolve_explain_configs(config_slugs)
+
+    results = [trace_scenario(scenario, label, config) for label, config in configs]
+    print(render_explain_report(results), end="")
+    mismatches = []
+    for result in results:
+        for profile in result.profiles:
+            check = profile.formula_check()
+            if check["applicable"] and not check["ok"]:
+                mismatches.append(
+                    f"{result.config}/{profile.name} (trace {profile.trace_id}): "
+                    f"measured {check['measured_cipher_calls']} != "
+                    f"predicted {check['predicted_cipher_calls']}"
+                )
+    if mismatches:
+        print()
+        for mismatch in mismatches:
+            print(f"DIVERGENCE: {mismatch}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -550,6 +681,10 @@ def main(argv: list[str] | None = None) -> int:
             return _bench(rest)
         if command == "audit":
             return _audit(rest)
+        if command == "trace":
+            return _trace(rest)
+        if command == "explain":
+            return _explain(rest)
     except UsageError as exc:
         print(f"error: {exc}\n", file=sys.stderr)
         print(__doc__)

@@ -29,6 +29,7 @@ from repro.aead.ocb import OCB
 from repro.primitives.aes import AES
 from repro.primitives.blockcipher import CountingCipher
 from repro.primitives.rng import CountingNonceSource
+from repro.primitives.util import blocks_needed
 
 #: AEADs covered by the Sect. 4 analysis, plus GCM as a modern extension.
 ANALYSED_AEADS = ("eax", "ocb", "ccfb", "gcm")
@@ -124,6 +125,51 @@ def cached_precomputation_offset(name: str) -> int | None:
     invocation count per message; None for schemes without a formula.
     """
     return CACHED_PRECOMPUTATION_OFFSET.get(name)
+
+
+#: Runtime AEAD ``name`` attributes → Sect. 4 formula keys (the fixed
+#: scheme the paper calls OCB ⊕ PMAC registers as "ocb-pmac").
+AEAD_FORMULA_ALIASES = {"ocb-pmac": "ocb"}
+
+
+def predicted_aead_invocations(
+    name: str, plaintext_octets: int, header_octets: int, block_size: int = 16
+) -> int | None:
+    """Exact expected blockcipher calls for one AEAD encrypt *or* decrypt.
+
+    ``paper_invocation_formula(n, m) + cached_precomputation_offset`` with
+    n and m the ceiling block counts of the byte lengths; encryption and
+    decryption cost the same for EAX and OCB ⊕ PMAC.  Returns None for
+    schemes without a Sect. 4 formula and for empty plaintexts, which sit
+    outside the validated model (EAX's OMAC over the empty string costs
+    one extra call) and never occur on engine paths.
+    """
+    name = AEAD_FORMULA_ALIASES.get(name, name)
+    n = blocks_needed(plaintext_octets, block_size)
+    m = blocks_needed(header_octets, block_size)
+    formula = paper_invocation_formula(name, n, m)
+    offset = CACHED_PRECOMPUTATION_OFFSET.get(name)
+    if formula is None or offset is None or n == 0:
+        return None
+    return formula + offset
+
+
+def predicted_omac_invocations(message_octets: int, block_size: int = 16) -> int:
+    """OMAC1 tag cost: one call per block, and at least one — the empty or
+    partial final block is still masked and encrypted once."""
+    return max(1, blocks_needed(message_octets, block_size))
+
+
+def predicted_cbc_encrypt_invocations(
+    message_octets: int, block_size: int = 16
+) -> int:
+    """CBC with strict PKCS#7 always pads, so the cost is ⌊L/bs⌋ + 1."""
+    return message_octets // block_size + 1
+
+
+def predicted_cbc_decrypt_invocations(body_octets: int, block_size: int = 16) -> int:
+    """CBC decrypt of a full-block body (the stored IV is free)."""
+    return body_octets // block_size
 
 
 def measure_blockcipher_invocations(

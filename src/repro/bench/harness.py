@@ -23,10 +23,12 @@ from repro.bench.report import build_report, scenario_cipher_calls
 from repro.bench.scenarios import (
     REQUIRES_TYPED_READS,
     SCENARIOS,
+    _MASTER_KEY,
     ScenarioResult,
     SizeProfile,
     supports_typed_reads,
 )
+from repro.observability.runmeta import run_metadata
 from repro.robustness.campaign import default_campaign_configs
 
 #: (n plaintext blocks, m header blocks) grid the formula is checked on.
@@ -151,12 +153,24 @@ def run_bench(
                     continue
                 observability.reset()
                 results.append(runner(label, config, sizes))
+                dropped = observability.TRACER.dropped
+                if dropped:
+                    raise AssertionError(
+                        f"{name}/{label}: tracer ring evicted {dropped} "
+                        "spans mid-bench (trace.spans_dropped != 0); the "
+                        "report's span-derived numbers would be partial"
+                    )
     finally:
         observability.reset()
         if not was_enabled:
             observability.disable()
 
-    return build_report(results, paper_checks, quick=quick)
+    meta = run_metadata(
+        seed=_MASTER_KEY.hex(),
+        config=", ".join(label for label, _ in default_campaign_configs()),
+        scenarios=scenario_names,
+    )
+    return build_report(results, paper_checks, quick=quick, meta=meta)
 
 
 def summarize(report: dict) -> str:

@@ -16,6 +16,8 @@ import re
 import sys
 from pathlib import Path
 
+from repro.observability.runmeta import run_metadata
+
 SCHEMA = "repro-bench/1"
 
 #: Schema of the comparison artifact ``compare_reports`` produces.
@@ -47,8 +49,15 @@ def build_report(
     scenario_results: list,
     paper_checks: dict,
     quick: bool,
+    meta: dict | None = None,
 ) -> dict:
-    """Assemble the full report document from scenario results."""
+    """Assemble the full report document from scenario results.
+
+    ``meta`` is the reproducibility block (seed, configuration names,
+    git describe, interpreter); the harness supplies it so artifacts are
+    self-describing, but reports without one stay valid — historical
+    baselines predate the field.
+    """
     scenario_dicts = [result.to_dict() for result in scenario_results]
     checks_ok = all(check.get("ok") for check in paper_checks.values())
     scenarios_ok = all(result.ok for result in scenario_results)
@@ -57,6 +66,7 @@ def build_report(
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "meta": meta if meta is not None else run_metadata(),
         "scenarios": scenario_dicts,
         "paper_checks": paper_checks,
         "ok": checks_ok and scenarios_ok,
@@ -80,6 +90,15 @@ def validate_report(report: dict) -> list[str]:
         problems.append("missing boolean 'ok'")
     if not isinstance(report.get("quick"), bool):
         problems.append("missing boolean 'quick'")
+    meta = report.get("meta")
+    if meta is not None:
+        # Optional for historical baselines; structured when present.
+        if not isinstance(meta, dict):
+            problems.append("'meta' must be an object when present")
+        else:
+            for field in ("python", "platform", "git_describe"):
+                if field not in meta:
+                    problems.append(f"meta missing {field!r}")
     scenarios = report.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
         problems.append("'scenarios' must be a non-empty list")

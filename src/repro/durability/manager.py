@@ -58,6 +58,7 @@ from repro.engine.storage import (
 from repro.errors import SchemaError, StorageFormatError
 from repro.mac.base import MAC
 from repro.observability.audit import AUDIT
+from repro.observability.trace import TRACER as _TRACER
 from repro.robustness.recovery import RecoveryReport, load_database_resilient
 
 from repro.durability.vdisk import VirtualDisk
@@ -459,25 +460,27 @@ class DurableDatabase:
             records = []
 
         seq = report.applied_seq
-        for record in records:
-            if record.seq <= report.applied_seq:
-                report.records_skipped += 1
-                continue
-            if record.seq != seq + 1:
-                report.replay_stopped = (
-                    f"sequence gap: record {record.seq} after {seq}"
-                )
-                break
-            try:
-                _replay_record(db, record)
-            except Exception as exc:
-                report.replay_stopped = (
-                    f"record {record.seq} ({record.op}) not applicable: "
-                    f"{type(exc).__name__}: {exc}"
-                )
-                break
-            seq = record.seq
-            report.records_replayed += 1
+        with _TRACER.span("wal.replay") as replay_span:
+            for record in records:
+                if record.seq <= report.applied_seq:
+                    report.records_skipped += 1
+                    continue
+                if record.seq != seq + 1:
+                    report.replay_stopped = (
+                        f"sequence gap: record {record.seq} after {seq}"
+                    )
+                    break
+                try:
+                    _replay_record(db, record)
+                except Exception as exc:
+                    report.replay_stopped = (
+                        f"record {record.seq} ({record.op}) not applicable: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+                seq = record.seq
+                report.records_replayed += 1
+            replay_span.add_cost("records_replayed", report.records_replayed)
         if report.replay_stopped is not None:
             report.issues.append(f"replay stopped: {report.replay_stopped}")
 
@@ -532,13 +535,15 @@ class DurableDatabase:
 
     def checkpoint(self) -> None:
         """Fold the current state into the image format, atomically."""
-        image = dump_database(self._db)
-        self._generation += 1
-        blob = encode_checkpoint(self._generation, self._seq, image, self._mac)
-        self._disk.write(CHECKPOINT_TMP, blob)
-        self._disk.sync(CHECKPOINT_TMP)
-        self._disk.rename(CHECKPOINT_TMP, CHECKPOINT_BLOB)
-        self._journal.reset(self._generation)
+        with _TRACER.span("wal.checkpoint") as span:
+            image = dump_database(self._db)
+            self._generation += 1
+            blob = encode_checkpoint(self._generation, self._seq, image, self._mac)
+            span.add_cost("bytes_written", len(blob))
+            self._disk.write(CHECKPOINT_TMP, blob)
+            self._disk.sync(CHECKPOINT_TMP)
+            self._disk.rename(CHECKPOINT_TMP, CHECKPOINT_BLOB)
+            self._journal.reset(self._generation)
         AUDIT.emit(
             "wal.checkpoint",
             generation=self._generation,

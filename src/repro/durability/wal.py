@@ -42,6 +42,7 @@ from repro.engine.storage import _Reader, _write_bytes, _write_int, _write_text
 from repro.errors import DiskError, StorageFormatError
 from repro.mac.base import MAC
 from repro.mac.hmac_mac import HMACMAC
+from repro.observability.trace import TRACER as _TRACER
 
 from repro.durability.vdisk import VirtualDisk
 
@@ -177,11 +178,26 @@ class Journal:
 
     def append(self, record: JournalRecord) -> None:
         """Append one record and make it durable — the commit point."""
+        if _TRACER.enabled:
+            with _TRACER.span("wal.append", op=record.op) as span:
+                encoded = encode_record(record, self._mac)
+                span.add_cost("bytes_written", len(encoded))
+                self._disk.append(self.name, encoded)
+                self._disk.sync(self.name)
+            return
         self._disk.append(self.name, encode_record(record, self._mac))
         self._disk.sync(self.name)
 
     def scan(self) -> JournalScan:
         """Scan the blob; a missing journal reads as empty-and-torn."""
+        if _TRACER.enabled:
+            with _TRACER.span("wal.scan") as span:
+                scan = self._scan()
+                span.add_cost("records", len(scan.records))
+                return scan
+        return self._scan()
+
+    def _scan(self) -> JournalScan:
         try:
             blob = self._disk.read(self.name)
         except DiskError:

@@ -22,6 +22,7 @@ from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
 from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
+from repro.observability.trace import TRACER as _TRACER
 
 NO_REF = -1
 
@@ -425,6 +426,8 @@ class BPlusTree:
 
     def _observe(self, node_id: int) -> None:
         _BTREE_NODES_READ.inc()
+        if _TRACER.enabled:
+            _TRACER.add_cost("nodes_read")
         if _AUDIT.enabled:
             _AUDIT.emit("index.node_read", index=self.index_table_id, node=node_id)
         if self.observer is not None:
@@ -458,6 +461,14 @@ class BPlusTree:
 
     def range_search(self, low: bytes, high: bytes) -> list[tuple[bytes, int]]:
         _BTREE_SEARCHES.inc()
+        if _TRACER.enabled:
+            with _TRACER.span("index.descent", structure="btree") as span:
+                results = self._range_search(low, high)
+                span.add_cost("entries", len(results))
+                return results
+        return self._range_search(low, high)
+
+    def _range_search(self, low: bytes, high: bytes) -> list[tuple[bytes, int]]:
         results: list[tuple[bytes, int]] = []
         node = self.node(self._leaf_for(low))
         seen: set[int] = set()

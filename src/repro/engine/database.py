@@ -28,6 +28,7 @@ from repro.engine.table import CellAddress, Table
 from repro.errors import NoSuchIndexError, NoSuchTableError, SchemaError
 from repro.observability import timed
 from repro.observability.audit import AUDIT
+from repro.observability.trace import TRACER
 
 
 class CellCodec(ABC):
@@ -421,6 +422,12 @@ class Database:
         self, table: Table, column_pos: int, plain: bytes, address: CellAddress
     ) -> bytes:
         if table.schema.columns[column_pos].sensitive:
+            if TRACER.enabled:
+                with TRACER.span("cell.encrypt", table=table.schema.name) as span:
+                    stored = self._cell_codec.encode_cell(plain, address)
+                    span.add_cost("plain_bytes", len(plain))
+                    span.add_cost("stored_bytes", len(stored))
+                    return stored
             return self._cell_codec.encode_cell(plain, address)
         return plain
 
@@ -428,6 +435,10 @@ class Database:
         stored = table.get_cell(row_id, column_pos)
         if table.schema.columns[column_pos].sensitive:
             address = table.address(row_id, column_pos)
+            if TRACER.enabled:
+                with TRACER.span("cell.decrypt", table=table.schema.name) as span:
+                    span.add_cost("stored_bytes", len(stored))
+                    return self._cell_codec.decode_cell(stored, address)
             return self._cell_codec.decode_cell(stored, address)
         return stored
 

@@ -25,6 +25,7 @@ from repro.engine.codec import EntryRefs, IndexEntryCodec
 from repro.errors import IndexCorruptionError, NoSuchRowError
 from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
+from repro.observability.trace import TRACER as _TRACER
 
 #: Sentinel "no reference" value stored in structural columns.
 NO_REF = -1
@@ -247,6 +248,14 @@ class IndexTable:
         (``decode_for_query``), which is where the footnote-1 bugs live.
         """
         _INDEXTABLE_SEARCHES.inc()
+        if _TRACER.enabled:
+            with _TRACER.span("index.descent", structure="indextable") as span:
+                results = self._range_search(low, high)
+                span.add_cost("entries", len(results))
+                return results
+        return self._range_search(low, high)
+
+    def _range_search(self, low: bytes, high: bytes) -> list[tuple[bytes, int]]:
         if self._root == NO_REF:
             return []
         current = self._row(self._root)
@@ -357,6 +366,8 @@ class IndexTable:
         )
 
     def _observe(self, row_id: int) -> None:
+        if _TRACER.enabled:
+            _TRACER.add_cost("nodes_read")
         if _AUDIT.enabled:
             _AUDIT.emit("index.node_read", index=self.index_table_id, node=row_id)
         if self.observer is not None:

@@ -85,9 +85,11 @@ class PointQuery(Query):
     value: Any
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.point", table=self.table, column=self.column):
+        with TRACER.span("query.point", table=self.table, column=self.column) as span:
             used_index, degraded = _access_path(db, self.table, self.column)
             rows = db.select_equals(self.table, self.column, self.value)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("used_index", used_index)
             return _freeze(rows, used_index, degraded)
 
 
@@ -101,9 +103,11 @@ class RangeQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.range", table=self.table, column=self.column):
+        with TRACER.span("query.range", table=self.table, column=self.column) as span:
             used_index, degraded = _access_path(db, self.table, self.column)
             rows = db.select_range(self.table, self.column, self.low, self.high)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("used_index", used_index)
             return _freeze(rows, used_index, degraded)
 
 
@@ -116,9 +120,11 @@ class PrefixQuery(Query):
     prefix: str
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.prefix", table=self.table, column=self.column):
+        with TRACER.span("query.prefix", table=self.table, column=self.column) as span:
             used_index, degraded = _access_path(db, self.table, self.column)
             rows = db.select_prefix(self.table, self.column, self.prefix)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("used_index", used_index)
             return _freeze(rows, used_index, degraded)
 
 
@@ -131,9 +137,11 @@ class AtLeastQuery(Query):
     low: Any
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.at_least", table=self.table, column=self.column):
+        with TRACER.span("query.at_least", table=self.table, column=self.column) as span:
             used_index, degraded = _access_path(db, self.table, self.column)
             rows = db.select_at_least(self.table, self.column, self.low)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("used_index", used_index)
             return _freeze(rows, used_index, degraded)
 
 
@@ -146,9 +154,11 @@ class AtMostQuery(Query):
     high: Any
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.at_most", table=self.table, column=self.column):
+        with TRACER.span("query.at_most", table=self.table, column=self.column) as span:
             used_index, degraded = _access_path(db, self.table, self.column)
             rows = db.select_at_most(self.table, self.column, self.high)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("used_index", used_index)
             return _freeze(rows, used_index, degraded)
 
 
@@ -160,12 +170,13 @@ class ScanQuery(Query):
     predicate: Callable[[Sequence[Any]], bool] | None = None
 
     def execute(self, db: Database) -> QueryResult:
-        with TRACER.span("query.scan", table=self.table):
+        with TRACER.span("query.scan", table=self.table) as span:
             rows = [
                 (row_id, values)
                 for row_id, values in db.scan(self.table)
                 if self.predicate is None or self.predicate(values)
             ]
+            span.set_attribute("rows", len(rows))
             return _freeze(rows, used_index=False)
 
 

@@ -25,6 +25,7 @@ from repro.errors import StorageFormatError
 from repro.observability import timed
 from repro.observability.audit import AUDIT as _AUDIT
 from repro.observability.metrics import REGISTRY as _METRICS
+from repro.observability.trace import TRACER as _TRACER
 
 _MAGIC = b"REPRODB1"
 
@@ -132,6 +133,15 @@ class _Reader:
 @timed("storage.dump")
 def dump_database(db: Database) -> bytes:
     """Serialise every table and index to a storage image."""
+    if _TRACER.enabled:
+        with _TRACER.span("storage.dump") as span:
+            image = _dump_database(db)
+            span.add_cost("bytes_written", len(image))
+            return image
+    return _dump_database(db)
+
+
+def _dump_database(db: Database) -> bytes:
     out = io.BytesIO()
     out.write(_MAGIC)
 
@@ -225,6 +235,18 @@ def load_database(
     The codecs (i.e. the keys) must be supplied by the caller; the image
     itself contains only what untrusted storage holds.
     """
+    if _TRACER.enabled:
+        with _TRACER.span("storage.load") as span:
+            span.add_cost("bytes_read", len(image))
+            return _load_database(image, cell_codec, index_codec_factory)
+    return _load_database(image, cell_codec, index_codec_factory)
+
+
+def _load_database(
+    image: bytes,
+    cell_codec: CellCodec | None = None,
+    index_codec_factory: IndexCodecFactory | None = None,
+) -> Database:
     reader = _Reader(image)
     reader.expect(_MAGIC)
     db = Database(cell_codec=cell_codec, index_codec_factory=index_codec_factory)

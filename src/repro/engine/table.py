@@ -15,6 +15,7 @@ from typing import Any, Iterator, Sequence
 from repro.engine.schema import TableSchema
 from repro.errors import NoSuchRowError, SchemaError
 from repro.observability.metrics import REGISTRY as _METRICS
+from repro.observability.trace import TRACER as _TRACER
 
 # Created once at import; .inc() is a no-op while observability is off.
 _CELL_READS = _METRICS.counter("storage.cell.reads")
@@ -84,11 +85,15 @@ class Table:
         row = self._get_row(row_id)
         if not 0 <= column < len(row):
             raise SchemaError(f"column index {column} out of range")
+        if _TRACER.enabled:
+            _TRACER.add_cost("bytes_read", len(row[column]))
         return row[column]
 
     def set_cell(self, row_id: int, column: int, payload: bytes) -> None:
         _CELL_WRITES.inc()
         _CELL_BYTES_WRITTEN.observe(len(payload))
+        if _TRACER.enabled:
+            _TRACER.add_cost("bytes_written", len(payload))
         row = self._get_row(row_id)
         if not 0 <= column < len(row):
             raise SchemaError(f"column index {column} out of range")

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 
 from repro.errors import BlockSizeError, NonceError
 from repro.observability.metrics import REGISTRY as _METRICS
+from repro.observability.trace import TRACER as _TRACER
 from repro.primitives.blockcipher import BlockCipher
 from repro.primitives.padding import PKCS7, PaddingScheme
 from repro.primitives.rng import RandomSource
@@ -139,6 +140,9 @@ class CipherMode(ABC):
             )
         iv = self._iv_policy.generate(self.block_size)
         padded = self._padding.pad(plaintext, self.block_size)
+        if _TRACER.enabled:
+            # Every mode here costs one blockcipher call per padded block.
+            _TRACER.add_cost("cipher_calls_predicted", len(padded) // self.block_size)
         body = self.encrypt_blocks(padded, iv)
         return (iv + body) if self._embed_iv else body
 
@@ -152,6 +156,8 @@ class CipherMode(ABC):
             iv, body = ciphertext[:self.block_size], ciphertext[self.block_size:]
         else:
             iv, body = self._iv_policy.generate(self.block_size), ciphertext
+        if _TRACER.enabled:
+            _TRACER.add_cost("cipher_calls_predicted", len(body) // self.block_size)
         padded = self.decrypt_blocks(body, iv)
         return self._padding.unpad(padded, self.block_size)
 

@@ -47,7 +47,20 @@ from repro.observability.metrics import (
     Timer,
 )
 from repro.observability.leakmon import PROBES, LeakMonitor, run_live_profile
-from repro.observability.trace import TRACER, Span, Tracer
+from repro.observability.profile import (
+    OperatorStats,
+    QueryProfile,
+    build_query_profiles,
+    format_profile,
+)
+from repro.observability.runmeta import git_describe, run_metadata
+from repro.observability.trace import TRACER, Span, TraceContext, Tracer
+from repro.observability.traceexport import (
+    chrome_trace_document,
+    render_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 
 def enable() -> None:
@@ -84,13 +97,20 @@ __all__ = [
     "InstrumentedMAC",
     "LeakMonitor",
     "MetricsRegistry",
+    "OperatorStats",
+    "QueryProfile",
     "Span",
     "Timer",
+    "TraceContext",
     "Tracer",
+    "build_query_profiles",
     "canonical_lines",
+    "chrome_trace_document",
     "disable",
     "enable",
     "enabled",
+    "format_profile",
+    "git_describe",
     "maybe_audit_cell_codec",
     "maybe_audit_index_codec",
     "maybe_audit_mac",
@@ -98,11 +118,15 @@ __all__ = [
     "maybe_instrument_cipher",
     "maybe_instrument_mac",
     "read_events",
+    "render_chrome_trace",
     "render_jsonl",
     "render_prometheus",
     "reset",
     "run_live_profile",
+    "run_metadata",
     "timed",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_events",
     "write_snapshot",
 ]

@@ -44,27 +44,56 @@ def prometheus_name(name: str) -> str:
     return "repro_" + _PROM_NAME.sub("_", name.replace(".", "_").replace("-", "_"))
 
 
-def render_prometheus(snapshot: dict) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through.  Order matters: escape backslashes first or the other
+    escapes get double-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    """``{key="value",...}`` with escaped values; empty dict → no braces."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict, labels: dict[str, str] | None = None) -> str:
     """The registry snapshot in the Prometheus text exposition format.
 
     Counters map to ``counter`` samples; histograms map to ``summary``
     families (quantiles from the reservoir percentiles, plus the exact
-    ``_count`` and ``_sum``).
+    ``_count`` and ``_sum``).  ``labels`` are attached to every sample,
+    with values escaped for the exposition format — configuration labels
+    like ``[12] index (+append cells)`` contain no reserved characters
+    today, but nothing upstream guarantees that.
     """
+    base = dict(labels or {})
     lines = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
         prom = prometheus_name(name)
         lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {value}")
+        lines.append(f"{prom}{_render_labels(base)} {value}")
     for name, summary in sorted(snapshot.get("histograms", {}).items()):
         prom = prometheus_name(name)
         lines.append(f"# TYPE {prom} summary")
         for key, quantile in _QUANTILES:
             value = summary.get(key)
             if value is not None:
-                lines.append(f'{prom}{{quantile="{quantile}"}} {value}')
-        lines.append(f"{prom}_count {summary.get('count', 0)}")
-        lines.append(f"{prom}_sum {summary.get('total', 0.0)}")
+                quantile_labels = dict(base, quantile=quantile)
+                lines.append(f"{prom}{_render_labels(quantile_labels)} {value}")
+        lines.append(f"{prom}_count{_render_labels(base)} {summary.get('count', 0)}")
+        lines.append(f"{prom}_sum{_render_labels(base)} {summary.get('total', 0.0)}")
     return "".join(line + "\n" for line in lines)
 
 

@@ -30,9 +30,31 @@ from typing import Callable, TypeVar
 from repro.aead.base import AEAD
 from repro.mac.base import MAC
 from repro.observability.metrics import REGISTRY
+from repro.observability.trace import TRACER
 from repro.primitives.blockcipher import BlockCipher
 
 F = TypeVar("F", bound=Callable)
+
+#: Span cost key for measured blockcipher invocations (the Sect. 4 unit).
+COST_CIPHER_CALLS = "cipher_calls"
+#: Span cost key for the analytic expectation (formula + cached offset).
+COST_CIPHER_CALLS_PREDICTED = "cipher_calls_predicted"
+#: Span cost key counting crypto operations with no analytic model; a
+#: profile's formula check only applies while this stays zero.
+COST_UNPREDICTED = "crypto_ops_unpredicted"
+
+_overhead = None
+
+
+def _overhead_mod():
+    """Lazy import: ``repro.analysis`` pulls in the engine stack, which
+    imports this package — resolving it at first use breaks the cycle."""
+    global _overhead
+    if _overhead is None:
+        from repro.analysis import overhead
+
+        _overhead = overhead
+    return _overhead
 
 
 def timed(name: str) -> Callable[[F], F]:
@@ -76,10 +98,12 @@ class InstrumentedCipher(BlockCipher):
 
     def encrypt_block(self, block: bytes) -> bytes:
         self._encrypts.inc()
+        TRACER.add_cost(COST_CIPHER_CALLS)
         return self._inner.encrypt_block(block)
 
     def decrypt_block(self, block: bytes) -> bytes:
         self._decrypts.inc()
+        TRACER.add_cost(COST_CIPHER_CALLS)
         return self._inner.decrypt_block(block)
 
     def __getattr__(self, attr: str):
@@ -107,17 +131,30 @@ class InstrumentedAEAD(AEAD):
     ) -> tuple[bytes, bytes]:
         self._encrypts.inc()
         self._plaintext_bytes.observe(len(plaintext))
+        if TRACER.enabled:
+            self._charge_prediction(len(plaintext), len(header))
         return self._inner.encrypt(nonce, plaintext, header)
 
     def decrypt(
         self, nonce: bytes, ciphertext: bytes, tag: bytes, header: bytes = b""
     ) -> bytes:
         self._decrypts.inc()
+        if TRACER.enabled:
+            self._charge_prediction(len(ciphertext), len(header))
         try:
             return self._inner.decrypt(nonce, ciphertext, tag, header)
         except Exception:
             self._rejects.inc()
             raise
+
+    def _charge_prediction(self, payload_octets: int, header_octets: int) -> None:
+        predicted = _overhead_mod().predicted_aead_invocations(
+            self.name, payload_octets, header_octets
+        )
+        if predicted is None:
+            TRACER.add_cost(COST_UNPREDICTED)
+        else:
+            TRACER.add_cost(COST_CIPHER_CALLS_PREDICTED, predicted)
 
     def __getattr__(self, attr: str):
         # Scheme-specific extras (block_size, subkey caches) pass through.
@@ -138,10 +175,24 @@ class InstrumentedMAC(MAC):
 
     def tag(self, message: bytes) -> bytes:
         self._tags.inc()
+        if TRACER.enabled:
+            if self.name == "omac1":
+                TRACER.add_cost(
+                    COST_CIPHER_CALLS_PREDICTED,
+                    _overhead_mod().predicted_omac_invocations(
+                        len(message), self._inner.block_size
+                    ),
+                )
+            elif not self.name.startswith("hmac"):
+                # Cipher-backed MACs without an analytic model taint the
+                # enclosing profile's formula check; HMACs make no
+                # blockcipher calls, so their prediction is zero.
+                TRACER.add_cost(COST_UNPREDICTED)
         return self._inner.tag(message)
 
     def verify(self, message: bytes, tag: bytes) -> bool:
-        ok = super().verify(message, tag)
+        with TRACER.span("mac.verify", mac=self.name):
+            ok = super().verify(message, tag)
         if not ok:
             self._rejects.inc()
         return ok

@@ -1,0 +1,223 @@
+"""Per-query profiles: "EXPLAIN ANALYZE" for the encrypted database.
+
+A :class:`QueryProfile` aggregates one query's span tree (all spans
+sharing the root's trace id) into per-operator rows — index descent,
+cell decrypt, MAC verify, storage read/write — each with wall time,
+bytes moved, and *measured* blockcipher invocations, plus the analytic
+expectation the instrumentation layer attached from the paper's Sect. 4
+formulas.  ``formula_check`` then states, per query, whether measured
+and predicted invocation counts agree exactly — the paper's cost model
+as a per-operation executable invariant rather than a per-run total.
+
+This module is pure aggregation over finished spans: run a workload
+with observability enabled, then feed ``TRACER.finished()`` to
+:func:`build_query_profiles`.  The scenario-driving ``repro explain``
+runner lives in :mod:`repro.bench.explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.instrument import (
+    COST_CIPHER_CALLS,
+    COST_CIPHER_CALLS_PREDICTED,
+    COST_UNPREDICTED,
+)
+from repro.observability.trace import Span
+
+#: Span-name prefix marking a root span as a query (see engine/query.py).
+QUERY_ROOT_PREFIX = "query."
+
+
+@dataclass
+class OperatorStats:
+    """Aggregated self-costs of every span sharing one operator name."""
+
+    operator: str
+    spans: int = 0
+    wall_seconds: float = 0.0
+    cipher_calls: int = 0
+    cipher_calls_predicted: int = 0
+    unpredicted_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    other_costs: dict = field(default_factory=dict)
+
+    def absorb(self, span: Span) -> None:
+        self.spans += 1
+        self.wall_seconds += span.duration or 0.0
+        for key, amount in span.costs.items():
+            if key == COST_CIPHER_CALLS:
+                self.cipher_calls += amount
+            elif key == COST_CIPHER_CALLS_PREDICTED:
+                self.cipher_calls_predicted += amount
+            elif key == COST_UNPREDICTED:
+                self.unpredicted_ops += amount
+            elif key in ("bytes_read", "plain_bytes"):
+                self.bytes_read += amount
+            elif key in ("bytes_written", "stored_bytes"):
+                self.bytes_written += amount
+            else:
+                self.other_costs[key] = self.other_costs.get(key, 0) + amount
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "spans": self.spans,
+            "wall_seconds": self.wall_seconds,
+            "cipher_calls": self.cipher_calls,
+            "cipher_calls_predicted": self.cipher_calls_predicted,
+            "unpredicted_ops": self.unpredicted_ops,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "other_costs": dict(self.other_costs),
+        }
+
+
+@dataclass
+class QueryProfile:
+    """One root query span plus the aggregated costs of its subtree."""
+
+    name: str
+    trace_id: int
+    attributes: dict
+    wall_seconds: float
+    operators: list[OperatorStats]
+
+    @property
+    def cipher_calls(self) -> int:
+        """Measured blockcipher invocations across the whole query tree."""
+        return sum(op.cipher_calls for op in self.operators)
+
+    @property
+    def cipher_calls_predicted(self) -> int:
+        return sum(op.cipher_calls_predicted for op in self.operators)
+
+    @property
+    def unpredicted_ops(self) -> int:
+        return sum(op.unpredicted_ops for op in self.operators)
+
+    def formula_check(self) -> dict:
+        """The Sect. 4 cross-check for this one query.
+
+        ``applicable`` is False when the tree contains crypto operations
+        without an analytic model (then measured and predicted are not
+        comparable); otherwise ``ok`` demands exact equality — formula
+        plus ``CACHED_PRECOMPUTATION_OFFSET``, no tolerance.
+        """
+        applicable = self.unpredicted_ops == 0
+        measured = self.cipher_calls
+        predicted = self.cipher_calls_predicted
+        return {
+            "applicable": applicable,
+            "measured_cipher_calls": measured,
+            "predicted_cipher_calls": predicted,
+            "ok": applicable and measured == predicted,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "attributes": dict(self.attributes),
+            "wall_seconds": self.wall_seconds,
+            "operators": [op.to_dict() for op in self.operators],
+            "formula_check": self.formula_check(),
+        }
+
+
+def build_query_profiles(spans: list[Span]) -> list[QueryProfile]:
+    """Group finished spans into per-query profiles, in root start order.
+
+    Every span carries its root's trace id, so grouping needs no parent
+    chasing; traces whose root is not a ``query.*`` span (storage dumps,
+    WAL checkpoints) are ignored.
+    """
+    roots = [
+        span
+        for span in spans
+        if span.parent_id is None and span.name.startswith(QUERY_ROOT_PREFIX)
+    ]
+    by_trace: dict[int, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    profiles = []
+    for root in sorted(roots, key=lambda span: span.start):
+        operators: dict[str, OperatorStats] = {}
+        for span in by_trace.get(root.trace_id, []):
+            stats = operators.get(span.name)
+            if stats is None:
+                stats = operators[span.name] = OperatorStats(span.name)
+            stats.absorb(span)
+        profiles.append(
+            QueryProfile(
+                name=root.name,
+                trace_id=root.trace_id,
+                attributes=dict(root.attributes),
+                wall_seconds=root.duration or 0.0,
+                operators=list(operators.values()),
+            )
+        )
+    return profiles
+
+
+def _detail(stats: OperatorStats) -> str:
+    parts = [f"{key}={value}" for key, value in sorted(stats.other_costs.items())]
+    if stats.unpredicted_ops:
+        parts.append(f"unpredicted_ops={stats.unpredicted_ops}")
+    return " ".join(parts)
+
+
+def format_profile(profile: QueryProfile) -> str:
+    """Render one profile as an EXPLAIN ANALYZE-style text table."""
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(profile.attributes.items()))
+    header = (
+        f"{profile.name} (trace {profile.trace_id})"
+        + (f"  {attrs}" if attrs else "")
+    )
+    columns = ("operator", "spans", "wall_us", "cipher", "predicted",
+               "bytes_r", "bytes_w", "detail")
+    rows = []
+    for stats in sorted(profile.operators, key=lambda s: -s.wall_seconds):
+        rows.append(
+            (
+                stats.operator,
+                str(stats.spans),
+                f"{stats.wall_seconds * 1e6:.0f}",
+                str(stats.cipher_calls),
+                str(stats.cipher_calls_predicted),
+                str(stats.bytes_read),
+                str(stats.bytes_written),
+                _detail(stats),
+            )
+        )
+    check = profile.formula_check()
+    if not check["applicable"]:
+        verdict = "n/a (operations without an analytic model)"
+    elif check["ok"]:
+        verdict = "OK (measured == predicted)"
+    else:
+        verdict = (
+            f"MISMATCH (measured {check['measured_cipher_calls']} != "
+            f"predicted {check['predicted_cipher_calls']})"
+        )
+    totals = (
+        "TOTAL",
+        "",
+        f"{profile.wall_seconds * 1e6:.0f}",
+        str(profile.cipher_calls),
+        str(profile.cipher_calls_predicted),
+        "",
+        "",
+        f"Sect. 4 check: {verdict}",
+    )
+    table = [columns] + rows + [totals]
+    widths = [max(len(row[i]) for row in table) for i in range(len(columns))]
+    lines = [header]
+    for row in table:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

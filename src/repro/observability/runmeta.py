@@ -1,0 +1,51 @@
+"""Reproducibility metadata stamped into exported artifacts.
+
+Bench reports (``BENCH_<n>.json``) and Chrome trace exports are meant
+to be compared across machines and commits, so each carries enough
+provenance to be self-describing: interpreter version, platform, the
+``git describe`` of the working tree, and — when the caller supplies
+them — the workload seed and configuration name.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of this checkout, or "unknown".
+
+    Resolved relative to this file so it reports the repo the code was
+    imported from, not whatever directory the process happens to run in.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    describe = out.stdout.strip()
+    return describe if out.returncode == 0 and describe else "unknown"
+
+
+def run_metadata(
+    seed: str | None = None, config: str | None = None, **extra: object
+) -> dict:
+    """The provenance block embedded in bench reports and trace headers."""
+    meta: dict = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_describe": git_describe(),
+    }
+    if seed is not None:
+        meta["seed"] = seed
+    if config is not None:
+        meta["config"] = config
+    meta.update(extra)
+    return meta

@@ -1,45 +1,104 @@
-"""Lightweight span tracing for query-path introspection.
+"""Causal span tracing for query-path introspection and cost attribution.
 
-A *span* is a named, timed region of execution; nested spans record
-their parent, so one query produces a small tree: ``query.point`` over
-``db.select_equals`` over per-cell decrypts.  Spans answer the question
-metrics cannot — *where* inside one operation the time went — while
-staying zero-dependency and off by default (the disabled path is a
-single boolean test returning a shared no-op span).
+A *span* is a named, timed region of execution carrying a
+:class:`TraceContext` — trace id, span id, parent span id — so nested
+spans form a tree rooted at the query entry point (Dapper-style causal
+tracing).  One point query produces ``query.point`` over
+``index.descent`` over per-cell ``cell.decrypt`` spans, and every
+primitive invocation inside the tree is attributable to exactly one
+root query span.
 
-The tracer keeps a bounded ring of finished spans: benchmark runs are
-long, and tracing must never become the memory hog it is meant to find.
+Besides wall time, spans accumulate *costs*: integer counters charged
+to the innermost active span on the current thread via
+:meth:`Tracer.add_cost`.  The instrumentation wrappers charge
+``cipher_calls`` (measured blockcipher invocations, the Sect. 4 unit of
+account) and ``cipher_calls_predicted`` (the analytic expectation from
+the paper's formulas), which is what lets ``repro explain`` cross-check
+the overhead model per query instead of per run.
+
+The tracer stays zero-dependency and off by default: the disabled path
+is a single boolean test returning a shared no-op span, and hot call
+sites guard with ``if TRACER.enabled:`` so the disabled path allocates
+nothing.  Finished spans live in a bounded ring — benchmark runs are
+long, and tracing must never become the memory hog it is meant to
+find; evictions are counted in the ``trace.spans_dropped`` metric
+rather than dropped silently.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+from dataclasses import dataclass
 
 from repro.observability.metrics import REGISTRY, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal identity of one span: which trace, which span, which parent."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The context a direct child span inherits."""
+        return TraceContext(self.trace_id, span_id, self.span_id)
 
 
 class Span:
     """One finished (or in-flight) traced region."""
 
-    __slots__ = ("name", "attributes", "start", "duration", "parent")
+    __slots__ = (
+        "name",
+        "attributes",
+        "context",
+        "costs",
+        "thread_id",
+        "start",
+        "duration",
+    )
 
-    def __init__(self, name: str, attributes: dict, parent: str | None) -> None:
+    def __init__(self, name: str, attributes: dict, context: TraceContext) -> None:
         self.name = name
         self.attributes = attributes
-        self.parent = parent
+        self.context = context
+        self.costs: dict[str, int] = {}
+        self.thread_id = threading.get_ident()
         self.start = time.perf_counter()
         self.duration: float | None = None
+
+    @property
+    def trace_id(self) -> int:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> int:
+        return self.context.span_id
+
+    @property
+    def parent_id(self) -> int | None:
+        return self.context.parent_id
 
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
 
+    def add_cost(self, key: str, amount: int) -> None:
+        self.costs[key] = self.costs.get(key, 0) + amount
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
-            "parent": self.parent,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.context.parent_id,
+            "thread_id": self.thread_id,
+            "start_seconds": self.start,
             "duration_seconds": self.duration,
             "attributes": self.attributes,
+            "costs": self.costs,
         }
 
 
@@ -49,6 +108,9 @@ class _NullSpan:
     __slots__ = ()
 
     def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_cost(self, key: str, amount: int) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -73,6 +135,9 @@ class _ActiveSpan:
     def set_attribute(self, key: str, value: object) -> None:
         self._span.set_attribute(key, value)
 
+    def add_cost(self, key: str, amount: int) -> None:
+        self._span.add_cost(key, amount)
+
     def __enter__(self) -> "_ActiveSpan":
         self._tracer._stack().append(self._span)
         return self
@@ -96,6 +161,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: list[Span] = []
+        self._ids = itertools.count(1)
         self.dropped = 0
 
     @property
@@ -103,12 +169,42 @@ class Tracer:
         return self._registry.enabled
 
     def span(self, name: str, **attributes: object):
-        """Open a span; use as ``with tracer.span("query.point") as s:``."""
+        """Open a span; use as ``with tracer.span("query.point") as s:``.
+
+        A span opened with no active span on this thread roots a new
+        trace; children inherit the trace id and link to their parent's
+        span id, so concurrent queries on separate threads build
+        disjoint trees.
+        """
         if not self._registry.enabled:
             return _NULL_SPAN
         stack = self._stack()
-        parent = stack[-1].name if stack else None
-        return _ActiveSpan(self, Span(name, dict(attributes), parent))
+        span_id = next(self._ids)
+        if stack:
+            context = stack[-1].context.child(span_id)
+        else:
+            context = TraceContext(next(self._ids), span_id, None)
+        return _ActiveSpan(self, Span(name, dict(attributes), context))
+
+    def current(self) -> Span | None:
+        """The innermost active span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def add_cost(self, key: str, amount: int = 1) -> None:
+        """Charge ``amount`` to this thread's innermost active span.
+
+        Self-cost accounting: a parent's own total is the sum over its
+        subtree, computed at read time by :mod:`repro.observability.profile`.
+        No-op when tracing is disabled or no span is active; the call
+        itself allocates nothing, but hot paths should still guard with
+        ``if TRACER.enabled:`` to skip argument evaluation.
+        """
+        if not self._registry.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].add_cost(key, amount)
 
     def finished(self) -> list[Span]:
         with self._lock:
@@ -135,8 +231,10 @@ class Tracer:
             if len(self._finished) >= self._max_spans:
                 # Drop the oldest half in one go: O(1) amortised and the
                 # recent spans (what a bench report reads) survive.
-                del self._finished[: self._max_spans // 2]
-                self.dropped += self._max_spans // 2
+                evicted = self._max_spans // 2
+                del self._finished[:evicted]
+                self.dropped += evicted
+                self._registry.counter("trace.spans_dropped").inc(evicted)
             self._finished.append(span)
 
 

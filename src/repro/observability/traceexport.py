@@ -1,0 +1,123 @@
+"""Chrome trace-event export for finished spans.
+
+Spans render as ``"X"`` (complete) events in the Trace Event Format
+consumed by ``chrome://tracing`` and Perfetto: timestamps and durations
+in microseconds, one ``tid`` lane per Python thread, and the span's
+trace/span/parent ids, attributes, and cost counters under ``args`` so
+causal structure and cipher-call attribution survive the export.  The
+document header carries the :func:`~repro.observability.runmeta.run_metadata`
+provenance block, making every ``trace.json`` self-describing.
+
+:func:`validate_chrome_trace` is the schema check the tests round-trip
+exports through; it validates structure, not semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.runmeta import run_metadata
+from repro.observability.trace import Span
+
+#: Event category tag for all spans this exporter emits.
+_CATEGORY = "repro"
+
+
+def chrome_trace_events(spans: list[Span]) -> list[dict]:
+    """Spans as trace events, timestamps rebased so the trace starts at 0."""
+    if not spans:
+        return []
+    origin = min(span.start for span in spans)
+    events = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": _CATEGORY,
+                "ph": "X",
+                "ts": (span.start - origin) * 1e6,
+                "dur": (span.duration or 0.0) * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "attributes": dict(span.attributes),
+                    "costs": dict(span.costs),
+                },
+            }
+        )
+    return events
+
+
+def chrome_trace_document(
+    spans: list[Span], metadata: dict | None = None
+) -> dict:
+    """The full JSON-object-format trace document."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": metadata if metadata is not None else run_metadata(),
+    }
+
+
+def render_chrome_trace(spans: list[Span], metadata: dict | None = None) -> str:
+    return json.dumps(chrome_trace_document(spans, metadata), sort_keys=True)
+
+
+def write_chrome_trace(
+    path: str | Path, spans: list[Span], metadata: dict | None = None
+) -> Path:
+    out = Path(path)
+    out.write_text(render_chrome_trace(spans, metadata) + "\n")
+    return out
+
+
+def validate_chrome_trace(document: object) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    other = document.get("otherData")
+    if not isinstance(other, dict):
+        errors.append("otherData is not an object")
+    else:
+        for key in ("python", "platform", "git_describe"):
+            if key not in other:
+                errors.append(f"otherData lacks {key!r}")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key, kinds in (
+            ("name", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("dur", (int, float)),
+            ("pid", int),
+            ("tid", int),
+            ("args", dict),
+        ):
+            if not isinstance(event.get(key), kinds):
+                errors.append(f"{where}.{key} missing or mistyped")
+        if event.get("ph") != "X":
+            errors.append(f"{where}.ph is not a complete event")
+        if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:
+            errors.append(f"{where}.ts is negative")
+        args = event.get("args")
+        if isinstance(args, dict):
+            if not isinstance(args.get("trace_id"), int):
+                errors.append(f"{where}.args.trace_id missing or mistyped")
+            if not isinstance(args.get("span_id"), int):
+                errors.append(f"{where}.args.span_id missing or mistyped")
+            if not isinstance(args.get("parent_id"), (int, type(None))):
+                errors.append(f"{where}.args.parent_id mistyped")
+            if not isinstance(args.get("costs"), dict):
+                errors.append(f"{where}.args.costs missing or mistyped")
+    return errors

@@ -64,6 +64,30 @@ def test_aead_scenarios_carry_formula_checks(quick_report):
         assert check["measured_cipher_calls"] > 0
 
 
+def test_report_carries_reproducibility_meta(quick_report):
+    meta = quick_report["meta"]
+    for field in ("python", "platform", "git_describe", "seed", "config"):
+        assert meta.get(field), f"meta lacks {field}"
+    assert meta["scenarios"] == ["bulk_insert"]
+    assert "fixed AEAD (EAX)" in meta["config"]
+
+
+def test_validate_report_accepts_metaless_historical_baselines(quick_report):
+    legacy = dict(quick_report)
+    legacy.pop("meta")
+    assert validate_report(legacy) == []
+    assert any(
+        "meta" in problem
+        for problem in validate_report(dict(quick_report, meta={"python": "3"}))
+    )
+
+
+def test_run_bench_leaves_no_dropped_spans(quick_report):
+    # Satellite invariant: the harness asserts trace.spans_dropped == 0
+    # after every scenario, so a passing report implies none were lost.
+    assert observability.TRACER.dropped == 0
+
+
 def test_run_bench_restores_prior_observability_state():
     run_bench(["bulk_insert"], quick=True)
     assert not observability.enabled()

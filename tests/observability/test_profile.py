@@ -1,0 +1,164 @@
+"""Per-query profiles and the per-query Sect. 4 formula check.
+
+The acceptance pin of the tracing layer: for point and range queries in
+every campaign configuration, the *measured* blockcipher invocations of
+each individual query match the paper's analytic prediction (formula
+plus ``CACHED_PRECOMPUTATION_OFFSET``) exactly.  Plus the causal
+guarantees: interleaved queries on separate threads produce disjoint
+span trees with no cross-linking.
+"""
+
+import threading
+
+import pytest
+
+from repro import observability
+from repro.bench.explain import EXPLAIN_SCENARIOS, trace_scenario
+from repro.bench.scenarios import _populated_db
+from repro.engine.query import PointQuery
+from repro.observability.profile import (
+    build_query_profiles,
+    format_profile,
+)
+from repro.observability.trace import TRACER
+from repro.robustness.campaign import default_campaign_configs
+
+
+@pytest.fixture(autouse=True)
+def _global_observability():
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+_CASES = [
+    (scenario, label, config)
+    for scenario in EXPLAIN_SCENARIOS
+    for label, config in default_campaign_configs()
+]
+
+
+@pytest.mark.parametrize(
+    "scenario, label, config",
+    _CASES,
+    ids=[f"{scenario}-{label}" for scenario, label, _ in _CASES],
+)
+def test_per_query_cipher_calls_match_sect4_predictions(scenario, label, config):
+    """Acceptance: measured == predicted per query, in every configuration."""
+    result = trace_scenario(scenario, label, config)
+    if result.skipped is not None:
+        assert label == "[3] XOR-Scheme"  # the only codec without typed reads
+        return
+    assert result.profiles, "traced run produced no query profiles"
+    for profile in result.profiles:
+        check = profile.formula_check()
+        assert check["applicable"], (
+            f"{label}/{profile.name}: tree contains crypto without a model"
+        )
+        assert check["ok"], (
+            f"{label}/{profile.name}: measured {check['measured_cipher_calls']} "
+            f"!= predicted {check['predicted_cipher_calls']}"
+        )
+    if label != "plaintext baseline":
+        assert any(p.cipher_calls > 0 for p in result.profiles)
+
+
+def test_profile_aggregates_subtree_by_operator():
+    observability.enable()
+    with TRACER.span("query.point", table="t") as root:
+        root.set_attribute("rows", 1)
+        with TRACER.span("cell.decrypt") as child:
+            child.add_cost("cipher_calls", 3)
+            child.add_cost("cipher_calls_predicted", 3)
+        with TRACER.span("cell.decrypt") as child:
+            child.add_cost("cipher_calls", 2)
+            child.add_cost("cipher_calls_predicted", 2)
+    # A non-query trace must be ignored by the grouping.
+    with TRACER.span("storage.dump"):
+        pass
+    (profile,) = build_query_profiles(TRACER.finished())
+    assert profile.name == "query.point"
+    assert profile.attributes == {"table": "t", "rows": 1}
+    by_name = {op.operator: op for op in profile.operators}
+    assert by_name["cell.decrypt"].spans == 2
+    assert by_name["cell.decrypt"].cipher_calls == 5
+    assert profile.formula_check() == {
+        "applicable": True,
+        "measured_cipher_calls": 5,
+        "predicted_cipher_calls": 5,
+        "ok": True,
+    }
+
+
+def test_unpredicted_ops_taint_applicability():
+    observability.enable()
+    with TRACER.span("query.point"):
+        TRACER.add_cost("cipher_calls", 4)
+        TRACER.add_cost("crypto_ops_unpredicted", 1)
+    (profile,) = build_query_profiles(TRACER.finished())
+    check = profile.formula_check()
+    assert not check["applicable"]
+    assert not check["ok"]
+    assert "n/a" in format_profile(profile)
+
+
+def test_format_profile_reports_verdict():
+    observability.enable()
+    with TRACER.span("query.range", table="records"):
+        TRACER.add_cost("cipher_calls", 2)
+        TRACER.add_cost("cipher_calls_predicted", 2)
+    (profile,) = build_query_profiles(TRACER.finished())
+    text = format_profile(profile)
+    assert "query.range" in text
+    assert "Sect. 4 check: OK (measured == predicted)" in text
+
+
+def test_interleaved_queries_on_threads_build_disjoint_trees():
+    """Satellite: concurrent queries never cross-link spans."""
+    label, config = default_campaign_configs()[4]  # fixed AEAD (EAX)
+    observability.enable()
+    db = _populated_db(config, 8, with_indexes=True)
+    observability.reset()  # keep instrumented codecs, drop build spans
+
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def worker(key: int) -> None:
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(3):
+                rows = PointQuery("records", "id", key).execute(db)
+                assert len(rows) == 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in (1, 6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    spans = TRACER.finished()
+    by_trace = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    profiles = build_query_profiles(spans)
+    assert len(profiles) == 6  # 2 threads x 3 queries, each its own trace
+
+    span_ids = {span.span_id for span in spans}
+    assert len(span_ids) == len(spans)  # globally unique span ids
+    for trace_spans in by_trace.values():
+        # One tree per trace: exactly one root, every parent link stays
+        # inside the trace, and the whole tree ran on one thread.
+        roots = [span for span in trace_spans if span.parent_id is None]
+        assert len(roots) == 1
+        ids_here = {span.span_id for span in trace_spans}
+        threads_here = {span.thread_id for span in trace_spans}
+        assert len(threads_here) == 1
+        for span in trace_spans:
+            if span.parent_id is not None:
+                assert span.parent_id in ids_here

@@ -67,6 +67,24 @@ def test_disabled_images_match_seed(label, config):
     assert digest == GOLDEN_IMAGE_SHA256[label]
 
 
+@pytest.mark.parametrize(
+    "label, config",
+    default_campaign_configs(),
+    ids=[label for label, _ in default_campaign_configs()],
+)
+def test_traced_images_match_seed(label, config):
+    """Tracing enabled must not perturb stored bytes in any configuration."""
+    observability.enable()
+    image = _image(config)
+    spans = observability.TRACER.finished()
+    observability.disable()
+
+    assert hashlib.sha256(image).hexdigest() == GOLDEN_IMAGE_SHA256[label]
+    names = {span.name for span in spans}
+    assert "storage.dump" in names  # tracing actually ran, not vacuously
+    assert "cell.encrypt" in names  # campaign schema is fully sensitive
+
+
 def test_enabled_image_is_byte_identical_and_counters_populate():
     label, config = next(
         (lbl, cfg)

@@ -1,0 +1,126 @@
+"""Chrome trace-event export: round-trip through the schema validator,
+provenance header, and the Prometheus label-escaping fix."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.bench.explain import explain_metadata, trace_scenario
+from repro.observability.export import escape_label_value, render_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runmeta import run_metadata
+from repro.observability.trace import Tracer
+from repro.observability.traceexport import (
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.robustness.campaign import default_campaign_configs
+
+
+@pytest.fixture(autouse=True)
+def _global_observability():
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+def _traced_spans():
+    registry = MetricsRegistry()
+    registry.enable()
+    tracer = Tracer(registry)
+    with tracer.span("query.point", table="records") as root:
+        root.set_attribute("rows", 1)
+        with tracer.span("cell.decrypt") as child:
+            child.add_cost("cipher_calls", 3)
+    return tracer.finished()
+
+
+def test_export_round_trips_through_validator(tmp_path):
+    path = write_chrome_trace(tmp_path / "trace.json", _traced_spans())
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) == []
+    events = document["traceEvents"]
+    assert len(events) == 2
+    assert {event["ph"] for event in events} == {"X"}
+    assert min(event["ts"] for event in events) == 0.0  # rebased to origin
+    by_name = {event["name"]: event for event in events}
+    child, root = by_name["cell.decrypt"], by_name["query.point"]
+    assert child["args"]["parent_id"] == root["args"]["span_id"]
+    assert child["args"]["costs"] == {"cipher_calls": 3}
+    assert root["args"]["attributes"] == {"table": "records", "rows": 1}
+
+
+def test_header_carries_run_metadata_by_default():
+    document = chrome_trace_document([])
+    other = document["otherData"]
+    for key in ("python", "platform", "git_describe"):
+        assert other.get(key), f"metadata lacks {key}"
+
+
+def test_explain_metadata_embeds_seed_configs_scenario():
+    meta = explain_metadata("point_query", ["a", "b"])
+    assert meta["scenario"] == "point_query"
+    assert meta["config"] == "a, b"
+    assert meta["seed"]  # the workload master key, hex-encoded
+    assert meta["git_describe"]
+
+
+def test_full_scenario_export_validates(tmp_path):
+    label, config = default_campaign_configs()[4]  # fixed AEAD (EAX)
+    result = trace_scenario("point_query", label, config)
+    path = write_chrome_trace(
+        tmp_path / "trace.json",
+        result.spans,
+        explain_metadata("point_query", [label]),
+    )
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) == []
+    assert document["otherData"]["config"] == label
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace([]) == ["document is not a JSON object"]
+    assert validate_chrome_trace({"traceEvents": {}}) == [
+        "traceEvents is not a list"
+    ]
+    bad_event = {
+        "traceEvents": [{"name": 3, "ph": "B", "ts": -1.0, "dur": 0.0,
+                         "pid": 1, "tid": 1, "args": {}}],
+        "otherData": run_metadata(),
+    }
+    errors = validate_chrome_trace(bad_event)
+    assert any("name" in error for error in errors)
+    assert any("complete event" in error for error in errors)
+    assert any("ts is negative" in error for error in errors)
+    assert any("trace_id" in error for error in errors)
+
+
+def test_escape_label_value_handles_reserved_characters():
+    assert escape_label_value("plain") == "plain"
+    assert escape_label_value("back\\slash") == "back\\\\slash"
+    assert escape_label_value('quo"te') == 'quo\\"te'
+    assert escape_label_value("line\nbreak") == "line\\nbreak"
+    # Order matters: a pre-escaped sequence must not double-collapse.
+    assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+
+def test_render_prometheus_escapes_adversarial_label_values():
+    registry = MetricsRegistry()
+    registry.enable()
+    registry.counter("leak.events").inc(2)
+    registry.histogram("op.seconds").observe(0.5)
+    hostile = 'cfg "quoted" \\ backslash\nnewline'
+    text = render_prometheus(registry.snapshot(), labels={"config": hostile})
+    escaped = 'config="cfg \\"quoted\\" \\\\ backslash\\nnewline"'
+    assert escaped in text
+    # The raw newline must never appear inside a sample line.
+    for line in text.splitlines():
+        assert line.startswith("#") or line.count('"') % 2 == 0
+    assert "\nnewline" not in text.replace("\\nnewline", "")
+    # Quantile samples merge the base labels with the quantile label.
+    assert 'quantile="0.5"' in text
+    assert "repro_op_seconds_count{" in text

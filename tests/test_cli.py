@@ -199,6 +199,78 @@ def test_audit_rejects_extra_positional(tmp_path, capsys):
     assert "at most one log path" in capsys.readouterr().err
 
 
+def test_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--out", str(out), "--configs", "aead-eax"]) == 0
+    captured = capsys.readouterr()
+    assert "spans from scenario 'point_query'" in captured.out
+    assert out.exists()
+
+    import json
+
+    from repro.observability.traceexport import validate_chrome_trace
+
+    document = json.loads(out.read_text())
+    assert validate_chrome_trace(document) == []
+    assert document["otherData"]["scenario"] == "point_query"
+    assert document["traceEvents"]
+
+
+def test_trace_requires_out(capsys):
+    assert main(["trace"]) == 2
+    captured = capsys.readouterr()
+    assert "requires --out" in captured.err
+    assert "Commands" in captured.out  # usage text, not a traceback
+
+
+def test_trace_rejects_unknown_scenario(tmp_path, capsys):
+    assert main(["trace", "--out", str(tmp_path / "t.json"),
+                 "--scenario", "nope"]) == 2
+    assert "unknown trace scenario" in capsys.readouterr().err
+
+
+def test_trace_rejects_unknown_flag(capsys):
+    assert main(["trace", "--frobnicate"]) == 2
+    assert "unknown trace argument" in capsys.readouterr().err
+
+
+def test_trace_rejects_unknown_config_slug(tmp_path, capsys):
+    assert main(["trace", "--out", str(tmp_path / "t.json"),
+                 "--configs", "nope"]) == 2
+    assert "unknown configuration slug" in capsys.readouterr().err
+
+
+def test_explain_prints_profiles_with_formula_verdict(capsys):
+    assert main(["explain", "range_query", "--configs", "aead-ocb"]) == 0
+    out = capsys.readouterr().out
+    assert "== range_query · fixed AEAD (OCB) ==" in out
+    assert "query.range" in out
+    assert "Sect. 4 check: OK (measured == predicted)" in out
+    assert "MISMATCH" not in out
+
+
+def test_explain_requires_scenario(capsys):
+    assert main(["explain"]) == 2
+    captured = capsys.readouterr()
+    assert "requires a scenario" in captured.err
+    assert "Commands" in captured.out
+
+
+def test_explain_rejects_unknown_scenario(capsys):
+    assert main(["explain", "nope"]) == 2
+    assert "unknown explain scenario" in capsys.readouterr().err
+
+
+def test_explain_rejects_extra_positional(capsys):
+    assert main(["explain", "point_query", "range_query"]) == 2
+    assert "exactly one scenario" in capsys.readouterr().err
+
+
+def test_explain_rejects_unknown_flag(capsys):
+    assert main(["explain", "point_query", "--frobnicate"]) == 2
+    assert "unknown explain argument" in capsys.readouterr().err
+
+
 def test_audit_live_then_replay_round_trip(tmp_path, capsys):
     assert main(["audit", "--live", "--configs", "aead-eax",
                  "--log-dir", str(tmp_path)]) == 0
