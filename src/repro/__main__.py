@@ -22,12 +22,28 @@ Commands:
   tolerance, default 0.25; ``--delta-out PATH`` writes the comparison
   document) and exit non-zero on regression.
 * ``crashcampaign [--rows N] [--limit N] [--configs slug,...]
-  [--modes m,...]`` — power-cut a journaled database at every write
-  boundary of a seeded workload (or N evenly-spaced boundaries with
-  ``--limit``) under each crash mode (default ``cut,torn,drop``) and
-  assert recovery always lands on exactly the pre- or post-operation
-  state; also checks audit-hook byte-neutrality and flaky-backend
-  retry equivalence.  Exits non-zero on any violation.
+  [--modes m,...] [--phases p,...]`` — power-cut a journaled database
+  at every write boundary of a seeded workload (or N evenly-spaced
+  boundaries with ``--limit``) under each crash mode (default
+  ``cut,torn,drop``) and assert recovery always lands on exactly the
+  pre- or post-operation state; also checks audit-hook byte-neutrality
+  and flaky-backend retry equivalence.  ``--phases`` selects the
+  mutation sweep, the sharded key-rotation sweep (every rotation
+  protocol write boundary; shards must recover to exactly the old or
+  new key epoch), or both (the default).  Exits non-zero on any
+  violation.
+* ``rotate --dir PATH (--new-key HEX | --new-seed TEXT)
+  [--old-key HEX | --old-seed TEXT]... [--shards N] [--config slug]
+  [--shard ID]`` — online master-key rotation of a sharded keyspace
+  stored under ``--dir``.  The old key chain is given oldest-first via
+  repeatable ``--old-key``/``--old-seed`` flags (default: the demo
+  seed ``repro-demo-master``); a fresh directory is created, seeded
+  with a small demo dataset, and then rotated.  ``--shard`` rotates a
+  single shard; omitting the new key *resumes* an interrupted rotation
+  (the supplied chain must already hold the target epoch — lagging
+  shards are brought up to its head).  Exits 2 on usage errors, 1 if
+  any shard fails post-rotation verification (wrong epoch, degraded
+  mount, manifest failure, or lost rows).
 * ``audit <log.jsonl> [--metrics-jsonl PATH] [--metrics-prom PATH]`` —
   replay a security audit log through the streaming leakage monitor
   and print the six probe verdicts; optionally export the ``leak.*``
@@ -208,7 +224,7 @@ def _faultcampaign(argv: list[str]) -> int:
 
 def _crashcampaign(argv: list[str]) -> int:
     from repro.durability import run_crash_campaign
-    from repro.durability.crashcampaign import CRASH_MODES
+    from repro.durability.crashcampaign import CAMPAIGN_PHASES, CRASH_MODES
     from repro.observability.leakmon import CONFIG_SLUGS
     from repro.robustness.campaign import default_campaign_configs
 
@@ -216,6 +232,7 @@ def _crashcampaign(argv: list[str]) -> int:
     limit: int | None = None
     config_slugs: list[str] | None = None
     modes: list[str] | None = None
+    phases: list[str] | None = None
     args = list(argv)
     while args:
         arg = args.pop(0)
@@ -229,12 +246,22 @@ def _crashcampaign(argv: list[str]) -> int:
         elif arg == "--modes" or arg.startswith("--modes="):
             value = _flag_value(arg, args, "--modes")
             modes = [m for m in value.split(",") if m]
+        elif arg == "--phases" or arg.startswith("--phases="):
+            value = _flag_value(arg, args, "--phases")
+            phases = [p for p in value.split(",") if p]
         else:
             raise UsageError(f"unknown crashcampaign argument {arg!r}")
     if rows < 1:
         raise UsageError("--rows must be at least 1")
     if limit is not None and limit < 1:
         raise UsageError("--limit must be at least 1")
+    if phases is not None:
+        bad = [p for p in phases if p not in CAMPAIGN_PHASES]
+        if bad or not phases:
+            raise UsageError(
+                f"unknown or empty campaign phase(s); "
+                f"available: {', '.join(CAMPAIGN_PHASES)}"
+            )
 
     configs = None
     if config_slugs is not None:
@@ -262,6 +289,7 @@ def _crashcampaign(argv: list[str]) -> int:
         limit=limit,
         configs=configs,
         modes=tuple(modes) if modes is not None else CRASH_MODES,
+        phases=tuple(phases) if phases is not None else CAMPAIGN_PHASES,
     )
     print(result.format_matrix())
     if not result.ok:
@@ -269,9 +297,175 @@ def _crashcampaign(argv: list[str]) -> int:
         for violation in result.violations:
             print(f"VIOLATION: {violation}", file=sys.stderr)
         return 1
-    print("every crash recovered to exactly the pre- or post-operation "
-          "state; audit hooks and retried transient failures are "
-          "byte-neutral")
+    messages = []
+    if result.per_config:
+        messages.append(
+            "every crash recovered to exactly the pre- or post-operation "
+            "state; audit hooks and retried transient failures are "
+            "byte-neutral"
+        )
+    if result.rotation is not None:
+        messages.append(
+            "every mid-rotation crash recovered each shard to exactly the "
+            "old or the new key epoch with the manifest verifying"
+        )
+    print("; ".join(messages))
+    return 0
+
+
+def _parse_key(value: str, what: str) -> bytes:
+    try:
+        key = bytes.fromhex(value)
+    except ValueError:
+        raise UsageError(f"{what} must be a hex string, got {value!r}") from None
+    if len(key) < 16:
+        raise UsageError(f"{what} must be at least 16 bytes (32 hex digits)")
+    return key
+
+
+def _seed_key(text: str) -> bytes:
+    import hashlib
+
+    return hashlib.sha256(text.encode("utf-8")).digest()
+
+
+def _rotate(argv: list[str]) -> int:
+    from repro.core.keys import KeyChain
+    from repro.durability.vdisk import FileDisk
+    from repro.engine.schema import Column, ColumnType, TableSchema
+    from repro.observability.leakmon import CONFIG_SLUGS
+    from repro.robustness.campaign import default_campaign_configs
+    from repro.sharding import ShardedKeyspace
+
+    directory: str | None = None
+    old_masters: list[bytes] = []
+    new_master: bytes | None = None
+    shards = 2
+    slug = "aead-eax"
+    shard_id: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--dir" or arg.startswith("--dir="):
+            directory = _flag_value(arg, args, "--dir")
+        elif arg == "--old-key" or arg.startswith("--old-key="):
+            old_masters.append(
+                _parse_key(_flag_value(arg, args, "--old-key"), "--old-key")
+            )
+        elif arg == "--old-seed" or arg.startswith("--old-seed="):
+            old_masters.append(_seed_key(_flag_value(arg, args, "--old-seed")))
+        elif arg == "--new-key" or arg.startswith("--new-key="):
+            if new_master is not None:
+                raise UsageError("rotate takes exactly one new key")
+            new_master = _parse_key(
+                _flag_value(arg, args, "--new-key"), "--new-key"
+            )
+        elif arg == "--new-seed" or arg.startswith("--new-seed="):
+            if new_master is not None:
+                raise UsageError("rotate takes exactly one new key")
+            new_master = _seed_key(_flag_value(arg, args, "--new-seed"))
+        elif arg == "--shards" or arg.startswith("--shards="):
+            shards = _parse_int(_flag_value(arg, args, "--shards"), "--shards")
+        elif arg == "--config" or arg.startswith("--config="):
+            slug = _flag_value(arg, args, "--config")
+        elif arg == "--shard" or arg.startswith("--shard="):
+            shard_id = _flag_value(arg, args, "--shard")
+        else:
+            raise UsageError(f"unknown rotate argument {arg!r}")
+    if directory is None:
+        raise UsageError("rotate requires --dir PATH")
+    if new_master is None and len(old_masters) < 2:
+        # Without a new key the only meaningful run is a *resume*: the
+        # supplied chain already holds the target epoch and lagging
+        # shards are brought up to its head.
+        raise UsageError("rotate requires --new-key HEX or --new-seed TEXT")
+    if shards < 1:
+        raise UsageError("--shards must be at least 1")
+    if slug not in CONFIG_SLUGS:
+        raise UsageError(
+            f"unknown configuration slug {slug!r}; "
+            f"available: {', '.join(CONFIG_SLUGS)}"
+        )
+    if not old_masters:
+        old_masters = [_seed_key("repro-demo-master")]
+    if new_master is not None and new_master in old_masters:
+        raise UsageError("the new key must differ from every old chain key")
+
+    config = dict(default_campaign_configs())[CONFIG_SLUGS[slug]]
+    chain = KeyChain(old_masters)
+    keyspace = ShardedKeyspace.open(
+        FileDisk(directory), chain, config, shard_count=shards
+    )
+    for issue in keyspace.recovery.issues:
+        print(f"note: {issue}", file=sys.stderr)
+    if keyspace.recovery.fresh:
+        schema = TableSchema("people", [
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.TEXT),
+            Column("city", ColumnType.TEXT, sensitive=False),
+        ])
+        keyspace.create_table(schema)
+        for i in range(6):
+            keyspace.insert("people", [i, f"name-{i:03d}", f"city-{i % 3}"])
+        keyspace.create_index("people_by_id", "people", "id", kind="btree")
+        keyspace.checkpoint()
+        print(f"created a fresh {shards}-shard keyspace in {directory} "
+              f"(6 demo rows)")
+    if shard_id is not None and all(
+        shard.shard_id != shard_id for shard in keyspace.shards
+    ):
+        raise UsageError(
+            f"no shard {shard_id!r}; keyspace holds "
+            f"{', '.join(shard.shard_id for shard in keyspace.shards)}"
+        )
+    before_counts = {
+        name: keyspace.count(name)
+        for name in keyspace.shards[0].manager.database.table_names
+    }
+
+    report = keyspace.rotate(new_master, shard_id=shard_id)
+    print(format_table(
+        ["shard", "from epoch", "to epoch", "cells", "index entries"],
+        [
+            [o.shard_id, o.from_epoch, o.to_epoch,
+             o.cells_reencrypted, o.index_entries_reencrypted]
+            for o in report.outcomes
+        ],
+        caption=f"rotation to key epoch {report.to_epoch}",
+    ))
+    for skipped in report.skipped:
+        print(f"skipped {skipped} (already at epoch {report.to_epoch} "
+              f"or degraded)")
+
+    # Post-rotation verification: remount from disk under the extended
+    # chain and require every rotated shard at the target epoch, clean.
+    check = ShardedKeyspace.open(FileDisk(directory), chain, config)
+    failures = []
+    if check.recovery.manifest != "ok":
+        failures.append(f"manifest does not verify: {check.recovery.manifest}")
+    rotated = {outcome.shard_id for outcome in report.outcomes}
+    for shard in check.shards:
+        if shard.shard_id in rotated and shard.epoch != report.to_epoch:
+            failures.append(
+                f"{shard.shard_id} remounted at epoch {shard.epoch}, "
+                f"expected {report.to_epoch}"
+            )
+        if shard.shard_id in rotated and shard.degraded:
+            failures.append(f"{shard.shard_id} remounted degraded")
+    for name, expected in before_counts.items():
+        found = check.count(name)
+        if found != expected:
+            failures.append(
+                f"table {name!r} holds {found} rows after rotation, "
+                f"had {expected}"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"VERIFICATION FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"verified: {len(rotated)} shard(s) at epoch {report.to_epoch}, "
+          f"manifest ok, row counts preserved")
     return 0
 
 
@@ -677,6 +871,8 @@ def main(argv: list[str] | None = None) -> int:
             return _faultcampaign(rest)
         if command == "crashcampaign":
             return _crashcampaign(rest)
+        if command == "rotate":
+            return _rotate(rest)
         if command == "bench":
             return _bench(rest)
         if command == "audit":

@@ -445,6 +445,72 @@ def bench_wal_replay(
     )
 
 
+def bench_shard_rotation(
+    label: str, config: EncryptionConfig, sizes: SizeProfile
+) -> ScenarioResult:
+    """Online key rotation of a sharded keyspace, under query load.
+
+    Seeds a two-shard keyspace, then rotates it to a new master key
+    while issuing an index-backed point query at every protocol write
+    boundary (for configurations whose codecs round-trip typed reads —
+    the [3] XOR-Scheme rotates unqueried).  Measures the full rotation:
+    re-encryption of every cell and index entry, staged checkpoints,
+    WAL resets, and manifest rewrites."""
+    from repro.core.keys import KeyChain
+    from repro.durability.vdisk import MemoryDisk
+    from repro.sharding.keyspace import ShardedKeyspace
+
+    keyspace = ShardedKeyspace.open(
+        MemoryDisk(), KeyChain.single(_MASTER_KEY), config,
+        shard_count=2, workers=1,
+    )
+    keyspace.create_table(_SCHEMA)
+    for i in range(sizes.rows):
+        keyspace.insert("records", _row_values(i))
+    keyspace.create_index("records_by_payload", "records", "payload", kind="table")
+    keyspace.create_index("records_by_id", "records", "id", kind="btree")
+    keyspace.checkpoint()
+
+    queried = sizes.rows > 0 and supports_typed_reads(config)
+    mid_rotation_hits = 0
+
+    def query_under_rotation(_shard_id: str, _phase: str) -> None:
+        nonlocal mid_rotation_hits
+        if queried:
+            key = mid_rotation_hits % sizes.rows
+            mid_rotation_hits += len(
+                keyspace.select_equals("records", "id", key)
+            )
+
+    observability.reset()
+    start = time.perf_counter()
+    report = keyspace.rotate(
+        b"bench-rotated-key-9876543210fedcba",
+        on_phase=query_under_rotation,
+    )
+    wall = time.perf_counter() - start
+    snapshot = observability.REGISTRY.snapshot()
+    result = ScenarioResult(
+        scenario="shard_rotation",
+        config=label,
+        wall_seconds=wall,
+        ops=report.cells_reencrypted + report.index_entries_reencrypted,
+        counters=snapshot["counters"],
+        histograms=snapshot["histograms"],
+    )
+    result.counters["rotation.cells_reencrypted"] = report.cells_reencrypted
+    result.counters["rotation.index_entries_reencrypted"] = (
+        report.index_entries_reencrypted
+    )
+    result.counters["rotation.mid_rotation_query_hits"] = mid_rotation_hits
+    if queried and mid_rotation_hits == 0:
+        raise AssertionError(
+            f"{label}: no query answered during rotation — the online "
+            f"claim went unmeasured"
+        )
+    return result
+
+
 ScenarioRunner = Callable[[str, EncryptionConfig, SizeProfile], ScenarioResult]
 
 #: Name → runner, in reporting order.
@@ -456,6 +522,7 @@ SCENARIOS: dict[str, ScenarioRunner] = {
     "fault_recovery": bench_fault_recovery,
     "wal_commit": bench_wal_commit,
     "wal_replay": bench_wal_replay,
+    "shard_rotation": bench_shard_rotation,
 }
 
 #: Scenarios that read typed values back and so are skipped for

@@ -64,3 +64,58 @@ class KeyRing:
     @property
     def is_wiped(self) -> bool:
         return not self._master
+
+
+class KeyChain:
+    """An ordered lineage of master keys — one per **key epoch**.
+
+    Rotation retires a master key by *extending* the chain rather than
+    replacing it: epoch ``i`` is the i-th master key ever installed, and
+    every epoch's purpose keys remain derivable while any shard, WAL, or
+    checkpoint still authenticates under them.  A sharded keyspace
+    records each shard's current epoch in its manifest; during an online
+    rotation different shards legitimately sit at adjacent epochs, which
+    is exactly what a single :class:`KeyRing` cannot express.
+
+    Per-shard masters are derived per (shard id, epoch), so one shard's
+    key material never decrypts a sibling's bytes — compromise of a
+    quarantined shard stays contained.
+    """
+
+    #: KeyRing purpose prefix for per-shard master derivation.
+    SHARD_PURPOSE = "shard-master"
+
+    def __init__(self, masters: list[bytes] | tuple[bytes, ...]) -> None:
+        if not masters:
+            raise KeyLengthError("a key chain needs at least one master key")
+        self._rings = [KeyRing(master) for master in masters]
+
+    @classmethod
+    def single(cls, master_key: bytes) -> "KeyChain":
+        """A chain with only epoch 0 (the pre-rotation common case)."""
+        return cls([master_key])
+
+    @property
+    def head_epoch(self) -> int:
+        """The newest epoch — where rotations rotate *to*."""
+        return len(self._rings) - 1
+
+    def epochs(self) -> range:
+        return range(len(self._rings))
+
+    def ring(self, epoch: int) -> KeyRing:
+        """The purpose-key ring of one epoch."""
+        if not 0 <= epoch <= self.head_epoch:
+            raise KeyLengthError(
+                f"no epoch {epoch} in a chain of {len(self._rings)} master key(s)"
+            )
+        return self._rings[epoch]
+
+    def shard_master(self, shard_id: str, epoch: int) -> bytes:
+        """The 32-byte master key of one shard at one epoch."""
+        return self.ring(epoch).derive(f"{self.SHARD_PURPOSE}/{shard_id}", 32)
+
+    def extend(self, new_master_key: bytes) -> int:
+        """Install a new master key; returns its (new head) epoch."""
+        self._rings.append(KeyRing(new_master_key))
+        return self.head_epoch

@@ -12,11 +12,20 @@ Rotation is the one operation that legitimately needs both the old and
 the new keys simultaneously; it therefore lives in its own module rather
 than on :class:`~repro.core.encrypted_db.EncryptedDatabase`, keeping the
 facade single-keyed.
+
+This in-place path is **atomic against exceptions but not against
+crashes**: if re-encryption raises midway (a corrupt cell failing
+authentication, say), every already-rewritten cell and index entry is
+restored and the facade keeps its old key ring — but a power cut still
+loses the database, since half the cells are on disk under each key.
+Crash-safe rotation is the job of the journaled shard-by-shard state
+machine in :mod:`repro.sharding.rotation`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.encrypted_db import EncryptedDatabase
 from repro.core.keys import KeyRing
@@ -46,44 +55,72 @@ def rotate_master_key(
     key: its key ring, cell codec, and index codecs are replaced, old
     ciphertexts are gone from storage, and the old master key no longer
     decrypts anything.  The old key ring is wiped (Sect. 2.1 hygiene).
+
+    If re-encryption raises at any point, the mutation is rolled back:
+    every rewritten cell and index payload is restored to its old
+    ciphertext and the facade keeps its old key ring, cell codec, and
+    randomness source, so the database stays fully readable under the
+    old master key.
     """
     old_codec = db.cell_codec
     old_keys = db.keys
+    old_rng = db._rng
 
     # Stand up the new cryptographic material on the same configuration.
     db.keys = KeyRing(new_master_key)
     db._rng = rng if rng is not None else DeterministicRandom(new_master_key)
     new_codec = db._build_cell_codec()
 
+    # Every in-place byte mutation pushes its inverse here; on failure
+    # the inverses run newest-first, leaving storage byte-identical.
+    undo: list[Callable[[], None]] = []
+
     cells = 0
     tables = 0
-    for table_name in db.table_names:
-        tables += 1
-        table = db.table(table_name)
-        sensitive_columns = [
-            position
-            for position, column in enumerate(table.schema.columns)
-            if column.sensitive
-        ]
-        for row_id, stored_cells in table.scan():
-            for position in sensitive_columns:
-                address = table.address(row_id, position)
-                plaintext = old_codec.decode_cell(stored_cells[position], address)
-                table.set_cell(row_id, position, new_codec.encode_cell(plaintext, address))
-                cells += 1
-    db._cell_codec = new_codec
-
     entries = 0
     indexes = 0
-    for index_name in db.index_names:
-        indexes += 1
-        entries += _rotate_index(db, index_name)
+    try:
+        for table_name in db.table_names:
+            tables += 1
+            table = db.table(table_name)
+            sensitive_columns = [
+                position
+                for position, column in enumerate(table.schema.columns)
+                if column.sensitive
+            ]
+            for row_id, stored_cells in table.scan():
+                for position in sensitive_columns:
+                    address = table.address(row_id, position)
+                    plaintext = old_codec.decode_cell(stored_cells[position], address)
+                    previous = stored_cells[position]
+                    table.set_cell(
+                        row_id, position, new_codec.encode_cell(plaintext, address)
+                    )
+                    undo.append(
+                        lambda t=table, r=row_id, p=position, b=previous:
+                            t.set_cell(r, p, b)
+                    )
+                    cells += 1
+        db._cell_codec = new_codec
+
+        for index_name in db.index_names:
+            indexes += 1
+            entries += _rotate_index(db, index_name, undo)
+    except BaseException:
+        for restore in reversed(undo):
+            restore()
+        db._cell_codec = old_codec
+        db.keys = old_keys
+        db._rng = old_rng
+        raise
 
     old_keys.wipe()
     return RotationReport(cells, entries, tables, indexes)
 
 
-def _rotate_index(db: EncryptedDatabase, index_name: str) -> int:
+def _rotate_index(
+    db: EncryptedDatabase, index_name: str, undo: list[Callable[[], None]]
+) -> int:
     """Swap an index structure's codec and re-encode every entry."""
     info = db.index(index_name)
     table = db.table(info.table)
@@ -96,22 +133,28 @@ def _rotate_index(db: EncryptedDatabase, index_name: str) -> int:
     count = 0
     if isinstance(structure, IndexTable):
         old_codec = structure.codec
+        undo.append(lambda s=structure, c=old_codec: setattr(s, "codec", c))
         for row in structure.raw_rows():
             if row.deleted:
                 continue
             refs = row.refs(structure.index_table_id)
             key, table_row = old_codec.decode(row.payload, refs)
+            previous = row.payload
             row.payload = new_codec.encode(key, table_row, refs)
+            undo.append(lambda rr=row, b=previous: setattr(rr, "payload", b))
             count += 1
         structure.codec = new_codec
     elif isinstance(structure, BPlusTree):
         old_codec = structure.codec
+        undo.append(lambda s=structure, c=old_codec: setattr(s, "codec", c))
         for node_id in sorted(structure._nodes):
             node = structure.node(node_id)
             for slot, entry in enumerate(node.entries):
                 refs = structure.entry_refs(node, slot)
                 key, table_row = old_codec.decode(entry.payload, refs)
+                previous = entry.payload
                 entry.payload = new_codec.encode(key, table_row, refs)
+                undo.append(lambda e=entry, b=previous: setattr(e, "payload", b))
                 count += 1
         structure.codec = new_codec
     else:  # pragma: no cover - no other structures exist

@@ -20,6 +20,7 @@ testable:
 """
 
 from repro.durability.crashcampaign import (
+    CAMPAIGN_PHASES,
     CrashCampaignResult,
     run_crash_campaign,
 )
@@ -42,6 +43,7 @@ from repro.durability.wal import (
 )
 
 __all__ = [
+    "CAMPAIGN_PHASES",
     "CrashCampaignResult",
     "CrashDisk",
     "CrashPlan",

@@ -36,6 +36,10 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.campaign import RotationCampaignResult
 
 from repro.analysis.report import format_table
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
@@ -60,6 +64,12 @@ from repro.durability.vdisk import (
 from repro.durability.wal import journal_mac
 
 CRASH_MODES = ("cut", "torn", "drop")
+
+#: Campaign phases: "mutation" sweeps the journaled workload of this
+#: module; "rotation" sweeps the key-rotation protocol of
+#: :mod:`repro.sharding.campaign` (imported lazily — it builds on this
+#: module's helpers).
+CAMPAIGN_PHASES = ("mutation", "rotation")
 
 _CRASH_MASTER_KEY = b"crashcampaign-master-key-0123456"
 
@@ -190,10 +200,16 @@ class CrashCampaignResult:
     limit: int | None
     modes: tuple[str, ...]
     per_config: list[ConfigCrashResult] = field(default_factory=list)
+    phases: tuple[str, ...] = ("mutation",)
+    #: The rotation phase's own campaign result (None when not run).
+    rotation: "RotationCampaignResult | None" = None
 
     @property
     def violations(self) -> list[str]:
-        return [v for result in self.per_config for v in result.violations]
+        found = [v for result in self.per_config for v in result.violations]
+        if self.rotation is not None:
+            found.extend(self.rotation.violations)
+        return found
 
     @property
     def ok(self) -> bool:
@@ -215,7 +231,7 @@ class CrashCampaignResult:
             for result in self.per_config
         ]
         limit = "exhaustive" if self.limit is None else f"limit {self.limit}"
-        return format_table(
+        matrix = format_table(
             [
                 "configuration", "boundaries", "trials", "pre", "post",
                 "fallbacks", "truncations", "retried", "violations",
@@ -226,7 +242,11 @@ class CrashCampaignResult:
                 f"modes {'/'.join(self.modes)}, {limit} crash points "
                 f"per configuration)"
             ),
-        )
+        ) if self.per_config else ""
+        if self.rotation is not None:
+            tail = self.rotation.format_matrix()
+            matrix = f"{matrix}\n\n{tail}" if matrix else tail
+        return matrix
 
 
 def _reference_run(
@@ -399,17 +419,37 @@ def run_crash_campaign(
     configs: list[tuple[str, EncryptionConfig]] | None = None,
     master_key: bytes = _CRASH_MASTER_KEY,
     modes: tuple[str, ...] = CRASH_MODES,
+    phases: tuple[str, ...] = CAMPAIGN_PHASES,
 ) -> CrashCampaignResult:
     """Sweep every (or ``limit`` evenly-spaced) write boundaries of the
-    workload under every crash mode, for every configuration."""
+    workload under every crash mode, for every configuration.
+
+    ``phases`` selects what gets power-cut: the journaled mutation
+    workload ("mutation"), the sharded key-rotation protocol
+    ("rotation"), or — the default — both."""
     for mode in modes:
         if mode not in CRASH_MODES:
             raise ValueError(f"unknown crash mode {mode!r}")
+    for phase in phases:
+        if phase not in CAMPAIGN_PHASES:
+            raise ValueError(f"unknown campaign phase {phase!r}")
+    if not phases:
+        raise ValueError("at least one campaign phase is required")
     configs = configs if configs is not None else default_campaign_configs()
-    campaign = CrashCampaignResult(rows=rows, limit=limit, modes=tuple(modes))
-    for label, config in configs:
-        result = _sweep_config(label, config, master_key, rows, limit, modes)
-        _audit_neutrality_check(label, config, master_key, rows, result)
-        _flaky_retry_check(label, config, master_key, rows, result)
-        campaign.per_config.append(result)
+    campaign = CrashCampaignResult(
+        rows=rows, limit=limit, modes=tuple(modes), phases=tuple(phases)
+    )
+    if "mutation" in phases:
+        for label, config in configs:
+            result = _sweep_config(label, config, master_key, rows, limit, modes)
+            _audit_neutrality_check(label, config, master_key, rows, result)
+            _flaky_retry_check(label, config, master_key, rows, result)
+            campaign.per_config.append(result)
+    if "rotation" in phases:
+        # Imported lazily: the rotation campaign builds on this module.
+        from repro.sharding.campaign import run_rotation_campaign
+
+        campaign.rotation = run_rotation_campaign(
+            rows=rows, limit=limit, configs=configs, modes=tuple(modes)
+        )
     return campaign

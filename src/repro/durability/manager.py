@@ -78,6 +78,15 @@ OP_INSERT = "insert"
 OP_UPDATE = "update"
 OP_DELETE = "delete"
 
+#: Rotation protocol markers (written by :mod:`repro.sharding.rotation`).
+#: They carry no engine mutation; the shard mount resolves them *before*
+#: :meth:`DurableDatabase.open` ever scans the journal, so seeing one
+#: during replay means the disk was mounted outside its keyspace.
+OP_ROTATE_BEGIN = "rotate_begin"
+OP_ROTATE_PROGRESS = "rotate_progress"
+OP_ROTATE_COMMIT = "rotate_commit"
+ROTATION_OPS = (OP_ROTATE_BEGIN, OP_ROTATE_PROGRESS, OP_ROTATE_COMMIT)
+
 #: Checkpoint verdicts of :meth:`DurableDatabase.open`.
 CKPT_OK = "ok"
 CKPT_MISSING = "missing"
@@ -304,6 +313,15 @@ def _replay_record(db: Database, record: JournalRecord) -> None:
         row_id = reader.read_int()
         _finish(reader)
         db.table(table_name).delete_row(row_id)
+    elif record.op in ROTATION_OPS:
+        # A rotation marker surviving to replay means the shard-level
+        # resolve never ran (the disk was mounted bare).  Refusing to
+        # apply it stops replay and flags the mount as degraded — the
+        # honest outcome, since only the keyspace mount knows whether
+        # the rotation committed.
+        raise StorageFormatError(
+            f"rotation record {record.op!r} outside a keyspace mount"
+        )
     else:
         raise StorageFormatError(f"unknown journal op {record.op!r}")
 
@@ -375,6 +393,7 @@ class DurableDatabase:
         mac: MAC,
         cell_codec: CellCodec | None = None,
         index_codec_factory: IndexCodecFactory | None = None,
+        fold: bool = True,
     ) -> "DurableDatabase":
         """Mount a disk: load the checkpoint, replay the journal.
 
@@ -386,6 +405,12 @@ class DurableDatabase:
           embedded image, then best-effort replay;
         * both damaged — salvage what survives of each; the report's
           ``degraded`` flag is set.
+
+        ``fold=False`` suppresses the checkpoint fold a degraded or
+        torn-journal recovery normally performs.  Callers that cannot
+        rule out mounting with the *wrong keys* (the sharded keyspace's
+        epoch probing) use it so an unauthenticated mount never
+        overwrites durable bytes a correct key could still recover.
         """
         report = WalRecovery()
         journal = Journal(disk, mac)
@@ -504,7 +529,7 @@ class DurableDatabase:
         if fresh_disk:
             journal.reset(manager._generation)
             report.journal = JOURNAL_CLEAN
-        elif report.degraded or report.journal != JOURNAL_CLEAN:
+        elif fold and (report.degraded or report.journal != JOURNAL_CLEAN):
             # Fold the recovered state into a fresh checkpoint so the
             # journal never grows past a torn or stale tail.
             manager.checkpoint()
@@ -523,6 +548,27 @@ class DurableDatabase:
     @property
     def generation(self) -> int:
         return self._generation
+
+    @property
+    def disk(self) -> VirtualDisk:
+        return self._disk
+
+    @property
+    def journal(self) -> Journal:
+        return self._journal
+
+    @property
+    def mac(self) -> MAC:
+        return self._mac
+
+    def commit_record(self, op: str, payload: bytes) -> JournalRecord:
+        """Journal one protocol record (no engine mutation).
+
+        The rotation state machine uses this for its begin/progress/
+        commit markers so they share the manager's sequence numbering,
+        commit-marker MAC, and ``wal.commit`` audit trail.
+        """
+        return self._commit(op, payload)
 
     # -- journaling core ------------------------------------------------------
 

@@ -186,6 +186,64 @@ class MemoryDisk(VirtualDisk):
         return MemoryDisk({name: bytes(data) for name, data in self._volatile.items()})
 
 
+class PrefixDisk(VirtualDisk):
+    """A namespace view over another disk: blob ``x`` lives at ``<prefix>x``.
+
+    A sharded keyspace gives every shard *its own* VirtualDisk while all
+    shards (and the cross-shard manifest) share one physical device —
+    exactly how one directory holds many shards' files.  Because every
+    operation passes straight through to the base disk, fault injectors
+    wrapped around the base (:class:`CrashDisk`, :class:`FlakyDisk`) see
+    one unified stream of write boundaries across all shards, which is
+    what lets the crash campaign cut power "anywhere in the keyspace".
+
+    The prefix uses ``.`` rather than ``/`` as its separator so the view
+    also composes with :class:`FileDisk` (which rejects path separators
+    in blob names).
+    """
+
+    def __init__(self, base: VirtualDisk, prefix: str) -> None:
+        if "/" in prefix:
+            raise DiskError(f"illegal disk prefix {prefix!r}")
+        self._base = base
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return self.prefix + name
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        return self._base.read(self._name(name))
+
+    def exists(self, name: str) -> bool:
+        return self._base.exists(self._name(name))
+
+    def names(self) -> list[str]:
+        return sorted(
+            name[len(self.prefix):]
+            for name in self._base.names()
+            if name.startswith(self.prefix)
+        )
+
+    # -- mutations -----------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        self._base.append(self._name(name), data)
+
+    def write(self, name: str, data: bytes) -> None:
+        self._base.write(self._name(name), data)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._base.rename(self._name(src), self._name(dst))
+
+    def delete(self, name: str) -> None:
+        self._base.delete(self._name(name))
+
+    def sync(self, name: str) -> None:
+        self._base.sync(self._name(name))
+
+
 class FileDisk(VirtualDisk):
     """Real files under one directory; ``os.replace`` + ``fsync``."""
 

@@ -1,0 +1,44 @@
+"""Sharded keyspace with crash-safe online key rotation.
+
+The database is partitioned into shards, each a self-contained durable
+encrypted database (own WAL, checkpoint, and per-shard per-epoch keys
+derived from a :class:`~repro.core.keys.KeyChain`), bound together by a
+MAC'd cross-shard manifest.  Key rotation is an online, journaled,
+shard-by-shard state machine; recovery resolves any crash point to a
+single consistent epoch per shard, and mounting recovers shards in
+parallel.  See ``docs/robustness.md`` for the decision tables and
+:mod:`repro.sharding.campaign` for the exhaustive crash campaign.
+"""
+
+from repro.sharding.keyspace import (
+    DEFAULT_SHARD_COUNT,
+    KeyspaceRecovery,
+    KeyspaceRotationReport,
+    ShardedKeyspace,
+)
+from repro.sharding.manifest import (
+    Manifest,
+    ManifestRecord,
+    ShardEntry,
+    read_manifest,
+    write_manifest,
+)
+from repro.sharding.rotation import ShardRotation, ShardRotationOutcome
+from repro.sharding.shard import Shard, ShardResolution, mount_shard
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "KeyspaceRecovery",
+    "KeyspaceRotationReport",
+    "Manifest",
+    "ManifestRecord",
+    "Shard",
+    "ShardEntry",
+    "ShardResolution",
+    "ShardRotation",
+    "ShardRotationOutcome",
+    "ShardedKeyspace",
+    "mount_shard",
+    "read_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,364 @@
+"""The rotation crash campaign: power-cut every rotation write boundary.
+
+The rotation protocol of :mod:`repro.sharding.rotation` claims one
+invariant — **epoch atomicity**: however the power dies mid-rotation, a
+remount recovers every shard to exactly the old or the new key epoch,
+never a mixture, with the cross-shard manifest verifying throughout.
+This module makes the claim exhaustively checkable, mirroring the
+mutation campaign of :mod:`repro.durability.crashcampaign`:
+
+1. seed a keyspace and rotate it once crash-free on a pass-through
+   :class:`~repro.durability.vdisk.CrashDisk` (every shard's blobs and
+   the manifest share one disk, so one op counter sees every write
+   boundary), snapshotting at each protocol phase the state a remount
+   of the surviving bytes recovers to — per-shard epoch and logical
+   dump, manifest verdict, and (for round-tripping schemes) point and
+   range answers;
+2. re-run seed + rotation once per (rotation boundary, crash mode)
+   pair, catching the :class:`~repro.errors.PowerCutError`, remounting
+   the survivor through the parallel keyspace recovery, and asserting
+   the recovered state equals the snapshot just before or just after
+   the cut.
+
+Because both sides of the comparison go through the same remount
+pipeline, the oracle is exact even for randomized codecs: re-encryption
+under the new epoch is deterministic (seeded RNGs, counting nonces), so
+matching snapshots match byte-for-byte in their dumps.
+
+The reference run also checks the **online** half of the claim: at
+every rotation phase boundary the live keyspace must answer the seeded
+point and range queries identically to the pre-rotation baseline —
+shards not currently rotating never notice a sibling's rotation.
+
+An audit-neutrality side-check rides along: the full seed + rotate
+leaves byte-identical disks with ``AUDIT`` enabled and disabled
+(``rotation.*`` events are pure observation).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.report import format_table
+from repro.core.encrypted_db import EncryptionConfig
+from repro.core.keys import KeyChain
+from repro.engine.storage import dump_database
+from repro.errors import PowerCutError
+from repro.observability.audit import AUDIT
+from repro.robustness.campaign import default_campaign_configs
+
+from repro.durability.crashcampaign import (
+    _CRASH_MASTER_KEY,
+    _SCHEMA,
+    _crash_points,
+    _round_trips,
+    _row_values,
+    CRASH_MODES,
+)
+from repro.durability.vdisk import BYTE_OPS, CrashDisk, CrashPlan, MemoryDisk
+from repro.sharding.keyspace import ShardedKeyspace
+
+_ROTATED_MASTER_KEY = b"crashcampaign-rotated-key-765432"
+
+
+def _seed_keyspace(keyspace: ShardedKeyspace, rows: int) -> None:
+    """The pre-rotation workload: table, rows, both index kinds, fold."""
+    keyspace.create_table(_SCHEMA)
+    for i in range(rows):
+        keyspace.insert("people", _row_values(i))
+    keyspace.create_index("people_by_name", "people", "name", kind="table")
+    keyspace.create_index("people_by_id", "people", "id", kind="btree")
+    keyspace.checkpoint()
+
+
+def _query_answers(keyspace: ShardedKeyspace, rows: int) -> dict[str, Any]:
+    """Point answers per seeded key plus one fan-out range answer."""
+    answers: dict[str, Any] = {
+        "range": keyspace.select_range("people", "id", 0, rows + 10),
+    }
+    for i in range(rows):
+        answers[f"id:{i}"] = keyspace.select_equals("people", "id", i)
+    answers["name"] = keyspace.select_equals(
+        "people", "name", _row_values(min(2, rows - 1))[1]
+    )
+    return answers
+
+
+def _recovered_state(
+    survivor: MemoryDisk,
+    chain: KeyChain,
+    config: EncryptionConfig,
+    rows: int,
+    include_queries: bool,
+) -> tuple[dict[str, Any], ShardedKeyspace]:
+    """Remount the surviving bytes (parallel per-shard recovery) and
+    reduce the result to the comparable observable state."""
+    keyspace = ShardedKeyspace.open(survivor, chain, config)
+    state: dict[str, Any] = {
+        "manifest": keyspace.recovery.manifest,
+        "shards": tuple(
+            (shard.epoch, shard.degraded, dump_database(shard.manager.database))
+            for shard in keyspace.shards
+        ),
+    }
+    if include_queries:
+        state["queries"] = _query_answers(keyspace, rows)
+    return state, keyspace
+
+
+@dataclass
+class _RotationBoundary:
+    """Oracle entry: at ``ops`` boundaries a survivor remount recovers
+    exactly ``state`` (captured just after protocol phase ``label``)."""
+
+    label: str
+    ops: int
+    state: dict[str, Any]
+
+
+@dataclass
+class ConfigRotationResult:
+    """Rotation sweep outcome for one scheme configuration."""
+
+    config: str
+    rotation_boundaries: int = 0
+    trials: int = 0
+    recovered_pre: int = 0
+    recovered_post: int = 0
+    rollbacks: int = 0
+    rollforwards: int = 0
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class RotationCampaignResult:
+    """The full rotation campaign: one sweep per configuration."""
+
+    rows: int
+    shard_count: int
+    limit: int | None
+    modes: tuple[str, ...]
+    per_config: list[ConfigRotationResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for result in self.per_config for v in result.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_matrix(self) -> str:
+        rows = [
+            [
+                result.config,
+                result.rotation_boundaries,
+                result.trials,
+                result.recovered_pre,
+                result.recovered_post,
+                result.rollbacks,
+                result.rollforwards,
+                len(result.violations),
+            ]
+            for result in self.per_config
+        ]
+        limit = "exhaustive" if self.limit is None else f"limit {self.limit}"
+        return format_table(
+            [
+                "configuration", "boundaries", "trials", "pre", "post",
+                "rollbacks", "rollforwards", "violations",
+            ],
+            rows,
+            caption=(
+                f"key-rotation crash campaign ({self.rows}-row workload, "
+                f"{self.shard_count} shards, modes {'/'.join(self.modes)}, "
+                f"{limit} crash points per configuration)"
+            ),
+        )
+
+
+def _reference_rotation(
+    label: str,
+    config: EncryptionConfig,
+    rows: int,
+    shard_count: int,
+    result: ConfigRotationResult,
+) -> tuple[list[_RotationBoundary], list[str]]:
+    """Seed + rotate crash-free, snapshotting every phase boundary."""
+    include_queries = _round_trips(config, _CRASH_MASTER_KEY)
+    full_chain = KeyChain([_CRASH_MASTER_KEY, _ROTATED_MASTER_KEY])
+    disk = CrashDisk(MemoryDisk())
+    keyspace = ShardedKeyspace.open(
+        disk, KeyChain.single(_CRASH_MASTER_KEY), config,
+        shard_count=shard_count, workers=1,
+    )
+    _seed_keyspace(keyspace, rows)
+    baseline = _query_answers(keyspace, rows) if include_queries else None
+    snapshots: list[_RotationBoundary] = []
+
+    def snapshot(phase_label: str, check_live: bool) -> None:
+        state, _ = _recovered_state(
+            disk.survivor(), full_chain, config, rows, include_queries
+        )
+        snapshots.append(_RotationBoundary(phase_label, disk.op_count, state))
+        if include_queries and check_live:
+            if _query_answers(keyspace, rows) != baseline:
+                result.violations.append(
+                    f"{label}: live keyspace answers changed at rotation "
+                    f"phase {phase_label!r} — a sibling's rotation is visible"
+                )
+
+    snapshot("seeded", check_live=False)
+    keyspace.rotate(
+        _ROTATED_MASTER_KEY,
+        on_phase=lambda sid, phase: snapshot(f"{sid}:{phase}", check_live=True),
+    )
+    return snapshots, list(disk.op_log)
+
+
+def _sweep_rotation(
+    label: str,
+    config: EncryptionConfig,
+    rows: int,
+    shard_count: int,
+    limit: int | None,
+    modes: tuple[str, ...],
+) -> ConfigRotationResult:
+    result = ConfigRotationResult(config=label)
+    include_queries = _round_trips(config, _CRASH_MASTER_KEY)
+    full_chain = KeyChain([_CRASH_MASTER_KEY, _ROTATED_MASTER_KEY])
+    snapshots, op_log = _reference_rotation(
+        label, config, rows, shard_count, result
+    )
+    start = snapshots[0].ops  # ops before this index belong to seeding
+    result.rotation_boundaries = len(op_log) - start
+    cutoffs = [boundary.ops for boundary in snapshots]
+
+    for offset in _crash_points(result.rotation_boundaries, limit):
+        op_index = start + offset
+        for mode in modes:
+            if mode == "torn" and op_log[op_index] not in BYTE_OPS:
+                continue  # tears identically to "cut" on payload-free ops
+            disk = CrashDisk(MemoryDisk(), CrashPlan(op_index, mode))
+            crashed = False
+            try:
+                keyspace = ShardedKeyspace.open(
+                    disk, KeyChain.single(_CRASH_MASTER_KEY), config,
+                    shard_count=shard_count, workers=1,
+                )
+                _seed_keyspace(keyspace, rows)
+                keyspace.rotate(_ROTATED_MASTER_KEY)
+            except PowerCutError:
+                crashed = True
+            if not crashed:
+                result.violations.append(
+                    f"{label}: planned crash at rotation boundary {op_index} "
+                    f"({mode}) never fired"
+                )
+                continue
+            result.trials += 1
+            try:
+                state, recovered = _recovered_state(
+                    disk.survivor(), full_chain, config, rows, include_queries
+                )
+            except Exception as exc:
+                result.violations.append(
+                    f"{label}: recovery raised after crash at rotation "
+                    f"boundary {op_index} ({mode}): {type(exc).__name__}: {exc}"
+                )
+                continue
+            epochs = [shard.epoch for shard in recovered.shards]
+            if any(epoch not in (0, 1) for epoch in epochs):
+                result.violations.append(
+                    f"{label}: crash at boundary {op_index} ({mode}) "
+                    f"recovered shard epochs {epochs} outside the chain"
+                )
+            result.rollbacks += sum(
+                1 for s in recovered.shards if s.resolution.rolled_back
+            )
+            result.rollforwards += sum(
+                1 for s in recovered.shards if s.resolution.rolled_forward
+            )
+            # Boundary op_index interrupts the protocol phase *after* the
+            # last snapshot whose op count is <= op_index.
+            pre_index = bisect_right(cutoffs, op_index) - 1
+            pre = snapshots[pre_index].state
+            post = (
+                snapshots[pre_index + 1].state
+                if pre_index + 1 < len(snapshots)
+                else pre
+            )
+            if state == post:
+                result.recovered_post += 1
+            elif state == pre:
+                result.recovered_pre += 1
+            else:
+                result.violations.append(
+                    f"{label}: crash at rotation boundary {op_index} ({mode}, "
+                    f"{op_log[op_index]}, after phase "
+                    f"{snapshots[pre_index].label!r}) recovered to a state "
+                    f"matching neither side — shard epochs {epochs}, "
+                    f"manifest {state['manifest']}"
+                )
+    return result
+
+
+def _final_rotated_disk(
+    config: EncryptionConfig, rows: int, shard_count: int
+) -> dict[str, bytes]:
+    disk = MemoryDisk()
+    keyspace = ShardedKeyspace.open(
+        disk, KeyChain.single(_CRASH_MASTER_KEY), config,
+        shard_count=shard_count, workers=1,
+    )
+    _seed_keyspace(keyspace, rows)
+    keyspace.rotate(_ROTATED_MASTER_KEY)
+    return disk.durable_state()
+
+
+def _audit_neutrality_check(
+    label: str,
+    config: EncryptionConfig,
+    rows: int,
+    shard_count: int,
+    result: ConfigRotationResult,
+) -> None:
+    was_enabled = AUDIT.enabled
+    try:
+        AUDIT.disable()
+        quiet = _final_rotated_disk(config, rows, shard_count)
+        AUDIT.enable()
+        audited = _final_rotated_disk(config, rows, shard_count)
+    finally:
+        AUDIT.enabled = was_enabled
+    if quiet != audited:
+        result.violations.append(
+            f"{label}: enabling audit hooks changed the rotated bytes"
+        )
+
+
+def run_rotation_campaign(
+    rows: int = 4,
+    shard_count: int = 2,
+    limit: int | None = None,
+    configs: list[tuple[str, EncryptionConfig]] | None = None,
+    modes: tuple[str, ...] = CRASH_MODES,
+) -> RotationCampaignResult:
+    """Sweep every (or ``limit`` evenly-spaced) rotation write boundary
+    under every crash mode, for every configuration."""
+    for mode in modes:
+        if mode not in CRASH_MODES:
+            raise ValueError(f"unknown crash mode {mode!r}")
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    configs = configs if configs is not None else default_campaign_configs()
+    campaign = RotationCampaignResult(
+        rows=rows, shard_count=shard_count, limit=limit, modes=tuple(modes)
+    )
+    for label, config in configs:
+        result = _sweep_rotation(label, config, rows, shard_count, limit, modes)
+        _audit_neutrality_check(label, config, rows, shard_count, result)
+        campaign.per_config.append(result)
+    return campaign

@@ -1,0 +1,185 @@
+"""The MAC'd cross-shard manifest.
+
+One blob on the keyspace's shared disk binds every shard together: for
+each shard it records the **key epoch** the shard's bytes authenticate
+under, the shard's checkpoint generation, and a digest of its checkpoint
+blob.  The envelope discipline is the same as the authenticated
+checkpoint of :mod:`repro.durability.wal` — framed fields followed by an
+HMAC-SHA256 tag over exactly the framed bytes, decoded by a
+never-raising reader that reports a status instead of leaking parse
+errors.
+
+The tag is keyed per epoch: the manifest declares which epoch signed it,
+and the verifier derives that epoch's ``"manifest-mac"`` purpose key
+from the :class:`~repro.core.keys.KeyChain`.  A manifest claiming an
+epoch the chain does not contain is unverifiable by construction — the
+same containment rule the shards themselves enforce.
+
+The manifest is advisory, not authoritative: every shard's WAL and
+checkpoint self-authenticate under the shard's own keys, so a stale or
+even destroyed manifest degrades recovery (epoch probing instead of a
+direct hint) without ever deciding what data is valid.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.core.keys import KeyChain, KeyRing
+from repro.engine.storage import _Reader, _write_bytes, _write_int, _write_text
+from repro.errors import DiskError, StorageFormatError
+from repro.mac.base import MAC
+from repro.mac.hmac_mac import HMACMAC
+
+from repro.durability.vdisk import VirtualDisk
+
+MANIFEST_MAGIC = b"REPROMAN1"
+
+#: Blob names on the keyspace's shared disk (shard blobs are prefixed;
+#: the manifest is the one unprefixed resident).
+MANIFEST_BLOB = "manifest"
+MANIFEST_TMP = "manifest.tmp"
+
+#: KeyRing purpose for the manifest MAC — independent of every shard key.
+MANIFEST_MAC_PURPOSE = "manifest-mac"
+
+#: Decode statuses (mirrors the checkpoint record's vocabulary).
+MANIFEST_OK = "ok"
+MANIFEST_MISSING = "missing"
+MANIFEST_UNAUTHENTICATED = "unauthenticated"
+MANIFEST_MALFORMED = "malformed"
+
+
+def manifest_mac(ring: KeyRing) -> MAC:
+    """The manifest's commit MAC for one epoch's key ring."""
+    return HMACMAC(ring.derive(MANIFEST_MAC_PURPOSE, 32))
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's line in the manifest."""
+
+    shard_id: str
+    key_epoch: int
+    generation: int
+    checkpoint_digest: bytes
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The decoded cross-shard binding."""
+
+    #: Epoch whose ``manifest-mac`` key signed this manifest (the newest
+    #: epoch any shard currently uses).
+    key_epoch: int
+    #: Monotonic write counter, so two manifests can be ordered.
+    seq: int
+    entries: tuple[ShardEntry, ...]
+
+    def entry(self, shard_id: str) -> ShardEntry | None:
+        for entry in self.entries:
+            if entry.shard_id == shard_id:
+                return entry
+        return None
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return [entry.shard_id for entry in self.entries]
+
+
+@dataclass
+class ManifestRecord:
+    """A decoded manifest blob plus its verification status."""
+
+    status: str
+    manifest: Manifest | None = None
+    detail: str = ""
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == MANIFEST_OK
+
+
+def encode_manifest(manifest: Manifest, mac: MAC) -> bytes:
+    """Frame the manifest and append the MAC tag over the framed bytes."""
+    out = io.BytesIO()
+    out.write(MANIFEST_MAGIC)
+    _write_int(out, manifest.key_epoch)
+    _write_int(out, manifest.seq)
+    _write_int(out, len(manifest.entries))
+    for entry in manifest.entries:
+        _write_text(out, entry.shard_id)
+        _write_int(out, entry.key_epoch)
+        _write_int(out, entry.generation)
+        _write_bytes(out, entry.checkpoint_digest)
+    body = out.getvalue()
+    _write_bytes(out, mac.tag(body))
+    return out.getvalue()
+
+
+def decode_manifest(blob: bytes, chain: KeyChain) -> ManifestRecord:
+    """Decode and verify a manifest blob.  Never raises."""
+    reader = _Reader(blob)
+    record = ManifestRecord(status=MANIFEST_MALFORMED)
+    try:
+        reader.expect(MANIFEST_MAGIC)
+        key_epoch = reader.read_int()
+        seq = reader.read_int()
+        count = reader.read_count("shard entry")
+        entries = []
+        for _ in range(count):
+            entries.append(ShardEntry(
+                shard_id=reader.read_text(),
+                key_epoch=reader.read_int(),
+                generation=reader.read_int(),
+                checkpoint_digest=reader.read_bytes(),
+            ))
+    except StorageFormatError as exc:
+        record.detail = str(exc)
+        return record
+    body_end = reader.offset
+    try:
+        tag = reader.read_bytes()
+    except StorageFormatError as exc:
+        record.status = MANIFEST_UNAUTHENTICATED
+        record.detail = f"manifest tag unreadable: {exc}"
+        return record
+    if reader.remaining:
+        record.status = MANIFEST_UNAUTHENTICATED
+        record.detail = f"{reader.remaining} trailing byte(s) after manifest tag"
+        return record
+    if not 0 <= key_epoch <= chain.head_epoch:
+        record.status = MANIFEST_UNAUTHENTICATED
+        record.detail = (
+            f"manifest claims signing epoch {key_epoch}, "
+            f"chain holds epochs 0..{chain.head_epoch}"
+        )
+        return record
+    if not manifest_mac(chain.ring(key_epoch)).verify(blob[:body_end], tag):
+        record.status = MANIFEST_UNAUTHENTICATED
+        record.detail = "manifest MAC failed verification"
+        return record
+    record.status = MANIFEST_OK
+    record.manifest = Manifest(key_epoch, seq, tuple(entries))
+    return record
+
+
+def read_manifest(disk: VirtualDisk, chain: KeyChain) -> ManifestRecord:
+    """Read and verify the manifest blob; missing reads as a status."""
+    if not disk.exists(MANIFEST_BLOB):
+        return ManifestRecord(status=MANIFEST_MISSING, detail="no manifest blob")
+    try:
+        blob = disk.read(MANIFEST_BLOB)
+    except DiskError as exc:
+        return ManifestRecord(status=MANIFEST_MISSING, detail=str(exc))
+    return decode_manifest(blob, chain)
+
+
+def write_manifest(disk: VirtualDisk, manifest: Manifest, chain: KeyChain) -> None:
+    """Install a manifest atomically (write temp → sync → rename)."""
+    blob = encode_manifest(manifest, manifest_mac(chain.ring(manifest.key_epoch)))
+    disk.write(MANIFEST_TMP, blob)
+    disk.sync(MANIFEST_TMP)
+    disk.rename(MANIFEST_TMP, MANIFEST_BLOB)

@@ -1,0 +1,327 @@
+"""One shard: its disk namespace, key lineage, and crash resolution.
+
+A shard is a complete durable database in its own right — its own
+:class:`~repro.durability.vdisk.VirtualDisk` (a prefixed view of the
+keyspace's shared disk), its own MAC-committed WAL and authenticated
+checkpoint, and its own purpose keys, all derived from the per-shard
+per-epoch master ``KeyChain.shard_master(shard_id, epoch)``.
+
+Mounting a shard runs the **rotation resolution** before the ordinary
+WAL recovery of :class:`~repro.durability.manager.DurableDatabase`:
+
+=========================================  =================================
+WAL (under the shard's current epoch e)    resolution
+=========================================  =================================
+no rotation records                        normal mount at e (drop any
+                                           stray staged checkpoint)
+``rotate_begin`` without ``rotate_commit``  **roll back**: delete the staged
+                                           checkpoint, reset the WAL, stay
+                                           at e (``rotation.abort``)
+``rotate_begin`` and ``rotate_commit``      **roll forward**: install the
+                                           staged checkpoint, reset the WAL
+                                           under e+1's MAC, move to e+1
+nothing authenticates under e, but the     already installed: adopt e+1,
+checkpoint authenticates under e+1         discard the stale old-epoch WAL
+nothing authenticates under any epoch      degraded: mount anyway and let
+                                           the resilient salvage path run —
+                                           but *never write*: the durable
+                                           bytes stay untouched so a mount
+                                           with the right chain recovers
+=========================================  =================================
+
+Resolution is idempotent: a crash *during* resolution re-resolves to the
+same outcome, because every step preserves the property that the WAL's
+committed prefix still names the decision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
+from repro.core.keys import KeyChain, KeyRing
+from repro.errors import DiskError
+from repro.mac.base import MAC
+from repro.observability.audit import AUDIT
+
+from repro.durability.manager import (
+    OP_ROTATE_BEGIN,
+    OP_ROTATE_COMMIT,
+    DurableDatabase,
+)
+from repro.durability.vdisk import VirtualDisk
+from repro.durability.wal import (
+    CHECKPOINT_BLOB,
+    JOURNAL_BLOB,
+    Journal,
+    decode_checkpoint,
+    journal_mac,
+)
+
+#: The staged new-epoch checkpoint a rotation writes before committing.
+CHECKPOINT_NEXT = "checkpoint.next"
+
+
+def shard_journal_mac(chain: KeyChain, shard_id: str, epoch: int) -> MAC:
+    """The shard's WAL/checkpoint MAC at one epoch (cheap — no codecs)."""
+    return journal_mac(KeyRing(chain.shard_master(shard_id, epoch)))
+
+
+def shard_crypto(
+    chain: KeyChain, shard_id: str, epoch: int, config: EncryptionConfig
+) -> tuple[EncryptedDatabase, MAC]:
+    """Full codec plumbing plus the WAL MAC for one (shard, epoch)."""
+    enc = EncryptedDatabase(chain.shard_master(shard_id, epoch), config)
+    return enc, journal_mac(enc.keys)
+
+
+@dataclass
+class ShardResolution:
+    """What mounting one shard found and decided."""
+
+    shard_id: str
+    epoch: int
+    rolled_back: bool = False
+    rolled_forward: bool = False
+    #: No epoch in the chain authenticates the shard's durable bytes —
+    #: almost certainly the *wrong chain*, so the mount must not write.
+    unauthenticated: bool = False
+    issues: list[str] = field(default_factory=list)
+
+
+class Shard:
+    """A mounted shard: crypto plumbing + durable manager on one disk."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        index: int,
+        disk: VirtualDisk,
+        config: EncryptionConfig,
+        epoch: int,
+        enc: EncryptedDatabase,
+        manager: DurableDatabase,
+        resolution: ShardResolution,
+    ) -> None:
+        self.shard_id = shard_id
+        self.index = index
+        self.disk = disk
+        self.config = config
+        self.epoch = epoch
+        self.enc = enc
+        self.manager = manager
+        self.resolution = resolution
+
+    @property
+    def degraded(self) -> bool:
+        return self.manager.recovery.degraded
+
+    def checkpoint_digest(self) -> bytes:
+        """SHA-256 of the shard's current checkpoint blob (empty if none)."""
+        if not self.disk.exists(CHECKPOINT_BLOB):
+            return b""
+        return hashlib.sha256(self.disk.read(CHECKPOINT_BLOB)).digest()
+
+    def adopt(
+        self, enc: EncryptedDatabase, manager: DurableDatabase, epoch: int
+    ) -> None:
+        """Switch the live shard to freshly-installed epoch plumbing
+        (the last step of a completed rotation)."""
+        self.enc = enc
+        self.manager = manager
+        self.epoch = epoch
+
+
+def _authenticating_epoch(
+    disk: VirtualDisk,
+    chain: KeyChain,
+    shard_id: str,
+    epoch_hint: int,
+) -> int | None:
+    """Which epoch's keys this shard's durable bytes authenticate under.
+
+    The checkpoint MAC is the anchor; a shard without a checkpoint yet is
+    judged by its WAL records.  Candidates are tried hint-first, then
+    hint+1 (the mid-rotation neighbour), then every remaining epoch
+    newest-first (the degraded, manifest-less probe).
+    """
+    candidates = [epoch_hint]
+    if epoch_hint + 1 <= chain.head_epoch:
+        candidates.append(epoch_hint + 1)
+    for epoch in range(chain.head_epoch, -1, -1):
+        if epoch not in candidates:
+            candidates.append(epoch)
+
+    has_checkpoint = disk.exists(CHECKPOINT_BLOB)
+    for epoch in candidates:
+        mac = shard_journal_mac(chain, shard_id, epoch)
+        if has_checkpoint:
+            if decode_checkpoint(disk.read(CHECKPOINT_BLOB), mac).ok:
+                return epoch
+        else:
+            scan = Journal(disk, mac).scan()
+            if scan.records:
+                return epoch
+    if not has_checkpoint:
+        # Header-only (or missing) WAL and no checkpoint: nothing is
+        # epoch-specific yet, so the hint is as good as any answer.
+        return epoch_hint
+    return None
+
+
+def _delete_if_exists(disk: VirtualDisk, name: str) -> bool:
+    if disk.exists(name):
+        try:
+            disk.delete(name)
+            return True
+        except DiskError:
+            return False
+    return False
+
+
+def _resolve(
+    disk: VirtualDisk, chain: KeyChain, shard_id: str, epoch_hint: int
+) -> ShardResolution:
+    """Run the rotation decision table before the ordinary WAL recovery."""
+    resolution = ShardResolution(shard_id=shard_id, epoch=epoch_hint)
+    if not disk.exists(CHECKPOINT_BLOB) and not disk.exists(JOURNAL_BLOB):
+        return resolution  # brand-new shard
+
+    epoch = _authenticating_epoch(disk, chain, shard_id, epoch_hint)
+    if epoch is None:
+        resolution.unauthenticated = True
+        resolution.issues.append(
+            f"{shard_id}: no key epoch in the chain authenticates the "
+            f"checkpoint; mounting degraded at epoch {epoch_hint} without "
+            f"touching the durable bytes"
+        )
+        return resolution
+    resolution.epoch = epoch
+    if epoch != epoch_hint:
+        resolution.issues.append(
+            f"{shard_id}: manifest said epoch {epoch_hint}, "
+            f"bytes authenticate under epoch {epoch}"
+        )
+        if epoch == epoch_hint + 1:
+            # The rotation installed its checkpoint but crashed before
+            # the manifest (or the old WAL) caught up.
+            resolution.rolled_forward = True
+
+    mac = shard_journal_mac(chain, shard_id, epoch)
+    journal = Journal(disk, mac)
+    scan = journal.scan()
+    begin = next((r for r in scan.records if r.op == OP_ROTATE_BEGIN), None)
+    commit = next((r for r in scan.records if r.op == OP_ROTATE_COMMIT), None)
+
+    if commit is not None:
+        _roll_forward(disk, chain, shard_id, epoch, resolution)
+    elif begin is not None:
+        _roll_back(disk, journal, shard_id, epoch, scan.generation, resolution)
+    else:
+        if _delete_if_exists(disk, CHECKPOINT_NEXT):
+            resolution.issues.append(
+                f"{shard_id}: removed a stray staged checkpoint"
+            )
+        if resolution.rolled_forward and not scan.clean:
+            # The stale old-epoch WAL (it authenticates under e-1, not
+            # e) would read as torn; found it afresh under this epoch.
+            ckpt = decode_checkpoint(
+                disk.read(CHECKPOINT_BLOB), shard_journal_mac(chain, shard_id, epoch)
+            )
+            Journal(disk, shard_journal_mac(chain, shard_id, epoch)).reset(
+                max(ckpt.generation, 1)
+            )
+    return resolution
+
+
+def _roll_forward(
+    disk: VirtualDisk,
+    chain: KeyChain,
+    shard_id: str,
+    epoch: int,
+    resolution: ShardResolution,
+) -> None:
+    """A committed rotation: finish installing the new epoch."""
+    to_epoch = epoch + 1
+    if to_epoch > chain.head_epoch:
+        resolution.issues.append(
+            f"{shard_id}: WAL commits a rotation to epoch {to_epoch} but the "
+            f"chain ends at {chain.head_epoch}; cannot roll forward"
+        )
+        return
+    new_mac = shard_journal_mac(chain, shard_id, to_epoch)
+    if disk.exists(CHECKPOINT_NEXT):
+        staged = decode_checkpoint(disk.read(CHECKPOINT_NEXT), new_mac)
+        if not staged.ok:
+            resolution.issues.append(
+                f"{shard_id}: committed rotation's staged checkpoint is "
+                f"{staged.status}; refusing to install it"
+            )
+            return
+        disk.rename(CHECKPOINT_NEXT, CHECKPOINT_BLOB)
+        Journal(disk, new_mac).reset(staged.generation)
+    else:
+        # Crash landed between the install rename and the WAL reset.
+        installed = decode_checkpoint(disk.read(CHECKPOINT_BLOB), new_mac)
+        if not installed.ok:
+            resolution.issues.append(
+                f"{shard_id}: committed rotation left neither a staged nor "
+                f"an installed new-epoch checkpoint"
+            )
+            return
+        Journal(disk, new_mac).reset(installed.generation)
+    resolution.epoch = to_epoch
+    resolution.rolled_forward = True
+
+
+def _roll_back(
+    disk: VirtualDisk,
+    journal: Journal,
+    shard_id: str,
+    epoch: int,
+    generation: int,
+    resolution: ShardResolution,
+) -> None:
+    """An uncommitted rotation: erase every trace, stay at the old epoch."""
+    _delete_if_exists(disk, CHECKPOINT_NEXT)
+    journal.reset(generation)
+    resolution.rolled_back = True
+    AUDIT.emit(
+        "rotation.abort",
+        shard=shard_id,
+        from_epoch=epoch,
+        to_epoch=epoch + 1,
+    )
+
+
+def mount_shard(
+    disk: VirtualDisk,
+    chain: KeyChain,
+    shard_id: str,
+    index: int,
+    config: EncryptionConfig,
+    epoch_hint: int = 0,
+) -> Shard:
+    """Resolve any in-flight rotation, then mount the shard."""
+    resolution = _resolve(disk, chain, shard_id, epoch_hint)
+    enc, mac = shard_crypto(chain, shard_id, resolution.epoch, config)
+    manager = DurableDatabase.open(
+        disk,
+        mac,
+        cell_codec=enc.cell_codec,
+        index_codec_factory=enc._build_index_codec,
+        # A wrong-chain mount must not fold its (empty) salvage over the
+        # checkpoint the correct chain could still authenticate.
+        fold=not resolution.unauthenticated,
+    )
+    return Shard(
+        shard_id=shard_id,
+        index=index,
+        disk=disk,
+        config=config,
+        epoch=resolution.epoch,
+        enc=enc,
+        manager=manager,
+        resolution=resolution,
+    )

@@ -112,6 +112,70 @@ def test_virtual_clock_never_wall_sleeps():
     assert policy._virtual_now > 0
 
 
+class FakeMonotonicClock:
+    """An injectable monotonic clock whose sleeps really advance it."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def test_wall_clock_mode_never_sleeps_past_the_deadline():
+    # Wall-clock mode: an injected monotonic clock that sleeps advance.
+    # With base_delay == max_delay == 0.4 every jittered retry wants
+    # 0.2-0.4s of sleep; a policy that slept first and checked the
+    # deadline afterwards would overshoot the 1s budget.  The deadline
+    # check must happen *before* the sleep, so total elapsed wall time
+    # stays within the deadline even when the next jittered sleep would
+    # cross it.
+    clock = FakeMonotonicClock()
+    start = clock.now
+    policy = RetryPolicy(
+        deadline=1.0, base_delay=0.4, max_delay=0.4, jitter=0.5,
+        rng=DeterministicRandom(b"wall"), sleep=clock.sleep, clock=clock,
+    )
+    with pytest.raises(TransientDiskError):
+        policy.call(flaky_operation(10_000))
+    elapsed = clock.now - start
+    assert elapsed <= policy.deadline
+    assert clock.sleeps  # it retried before giving up
+    # Had it slept once more, it would have crossed the line: the budget
+    # left over is smaller than any possible jittered delay.
+    assert policy.deadline - elapsed < 0.4
+
+
+def test_wall_clock_mode_charges_operation_time_against_the_deadline():
+    # The deadline bounds *total* elapsed time, not just the sum of
+    # sleeps: a slow failing backend eats the budget too.  (The virtual
+    # clock cannot see operation time — this is exactly what wall-clock
+    # mode adds.)
+    clock = FakeMonotonicClock()
+    attempts: list[int] = []
+
+    def slow_flake():
+        attempts.append(1)
+        clock.now += 0.3  # the operation itself burns wall time
+        raise TransientDiskError("slow flake")
+
+    policy = RetryPolicy(
+        deadline=1.0, base_delay=0.1, max_delay=0.1, jitter=0.0,
+        rng=DeterministicRandom(b"s"), sleep=clock.sleep, clock=clock,
+    )
+    with pytest.raises(TransientDiskError):
+        policy.call(slow_flake)
+    # Attempts end at 0.3s, 0.7s, 1.1s of wall time; after the third the
+    # next sleep would land at 1.2s > 1.0s, so exactly three attempts.
+    assert len(attempts) == 3
+    assert clock.now - 1000.0 == pytest.approx(1.1)
+
+
 def test_constructor_validation():
     with pytest.raises(ValueError):
         RetryPolicy(deadline=0)

@@ -1,0 +1,153 @@
+"""ShardedKeyspace: routing, fan-out, manifest reconciliation."""
+
+import pytest
+
+from repro.core.keys import KeyChain
+from repro.durability.vdisk import MemoryDisk
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.errors import SchemaError
+from repro.sharding import ShardedKeyspace
+from repro.sharding.manifest import MANIFEST_BLOB, read_manifest
+
+MASTER = b"keyspace-test-master-0123456789ab"
+
+SCHEMA = TableSchema("recs", [
+    Column("id", ColumnType.INT),
+    Column("name", ColumnType.TEXT),
+    Column("tag", ColumnType.TEXT, sensitive=False),
+])
+
+ROWS = 12
+
+
+def seed(disk: MemoryDisk, chain: KeyChain, **kwargs) -> ShardedKeyspace:
+    keyspace = ShardedKeyspace.open(disk, chain, workers=1, **kwargs)
+    keyspace.create_table(SCHEMA)
+    for i in range(ROWS):
+        keyspace.insert("recs", [i, f"name-{i:02d}", f"tag-{i:02d}"])
+    keyspace.create_index("recs_id", "recs", "id", kind="table")
+    keyspace.create_index("recs_name", "recs", "name", kind="btree")
+    keyspace.checkpoint()
+    return keyspace
+
+
+def test_fresh_open_creates_the_default_shards():
+    disk = MemoryDisk()
+    keyspace = ShardedKeyspace.open(disk, KeyChain.single(MASTER), workers=1)
+    assert keyspace.recovery.fresh
+    assert not keyspace.recovery.degraded
+    assert [s.shard_id for s in keyspace.shards] == ["s0", "s1"]
+    # The mount wrote an initial manifest binding the empty shards.
+    assert read_manifest(disk, keyspace.chain).ok
+
+
+def test_routing_is_deterministic_and_partitions_rows():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    assert keyspace.count("recs") == ROWS
+    per_shard = [s.manager.database.count("recs") for s in keyspace.shards]
+    assert sum(per_shard) == ROWS
+    assert all(n > 0 for n in per_shard)  # the hash spreads 12 rows
+    for i in range(ROWS):
+        shard = keyspace.shard_for("recs", [i])
+        hits = keyspace.select_equals("recs", "id", i)
+        assert [(index, row[0]) for index, _, row in hits] == [(shard.index, i)]
+
+
+def test_non_shard_key_queries_fan_out_and_merge_sorted():
+    keyspace = seed(MemoryDisk(), KeyChain.single(MASTER))
+    hits = keyspace.select_equals("recs", "name", "name-05")
+    assert [row[1] for _, _, row in hits] == ["name-05"]
+    ranged = keyspace.select_range("recs", "id", 3, 8)
+    assert sorted(row[0] for _, _, row in ranged) == [3, 4, 5, 6, 7, 8]
+    assert ranged == sorted(ranged, key=lambda item: (item[0], item[1]))
+
+
+def test_remount_recovers_every_shard():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    seed(disk, chain)
+    again = ShardedKeyspace.open(MemoryDisk(disk.durable_state()), chain, workers=1)
+    assert not again.recovery.fresh
+    assert again.recovery.manifest == "ok"
+    assert not again.recovery.manifest_repaired
+    assert again.count("recs") == ROWS
+    recovered = again.select_range("recs", "id", 0, ROWS)
+    assert sorted(row[0] for _, _, row in recovered) == list(range(ROWS))
+
+
+def test_parallel_and_sequential_mounts_agree():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    seed(disk, chain)
+    durable = disk.durable_state()
+    sequential = ShardedKeyspace.open(MemoryDisk(durable), chain, workers=1)
+    parallel = ShardedKeyspace.open(MemoryDisk(durable), chain, workers=4)
+    assert [s.epoch for s in parallel.shards] == [s.epoch for s in sequential.shards]
+    assert parallel.select_range("recs", "id", 0, ROWS) \
+        == sequential.select_range("recs", "id", 0, ROWS)
+
+
+def test_lost_manifest_degrades_to_epoch_probing_and_repairs():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    seed(disk, chain)
+    survivor = MemoryDisk(disk.durable_state())
+    survivor.delete(MANIFEST_BLOB)
+    keyspace = ShardedKeyspace.open(survivor, chain, workers=1)
+    assert keyspace.recovery.manifest == "missing"
+    assert keyspace.recovery.manifest_repaired
+    assert any("epoch probing" in issue for issue in keyspace.recovery.issues)
+    assert keyspace.count("recs") == ROWS
+    # The repair rewrote a verifiable manifest for the next mount.
+    assert read_manifest(survivor, chain).ok
+
+
+def test_tampered_manifest_is_advisory_only():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    seed(disk, chain)
+    survivor = MemoryDisk(disk.durable_state())
+    blob = bytearray(survivor.read(MANIFEST_BLOB))
+    blob[-1] ^= 0x01
+    survivor.write(MANIFEST_BLOB, bytes(blob))
+    keyspace = ShardedKeyspace.open(survivor, chain, workers=1)
+    assert keyspace.recovery.manifest == "unauthenticated"
+    assert keyspace.recovery.degraded  # the keyspace flags it...
+    assert keyspace.count("recs") == ROWS  # ...but the shards self-authenticate
+    assert keyspace.recovery.manifest_repaired
+
+
+def test_manifest_shard_count_wins_over_the_caller():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    seed(disk, chain)
+    keyspace = ShardedKeyspace.open(
+        MemoryDisk(disk.durable_state()), chain, shard_count=5, workers=1
+    )
+    assert len(keyspace.shards) == 2
+    assert any("ignoring requested shard_count=5" in issue
+               for issue in keyspace.recovery.issues)
+
+
+def test_at_least_one_shard_is_required():
+    with pytest.raises(SchemaError):
+        ShardedKeyspace.open(
+            MemoryDisk(), KeyChain.single(MASTER), shard_count=0, workers=1
+        )
+
+
+def test_rotate_rejects_unknown_shard():
+    keyspace = seed(MemoryDisk(), KeyChain.single(MASTER))
+    with pytest.raises(SchemaError):
+        keyspace.rotate(b"rotated-master-key-0123456789abcd", shard_id="s9")
+
+
+def test_checkpoint_advances_the_manifest_seq():
+    disk = MemoryDisk()
+    chain = KeyChain.single(MASTER)
+    keyspace = seed(disk, chain)
+    first = read_manifest(disk, chain).manifest.seq
+    keyspace.insert("recs", [100, "late", "tag"])
+    keyspace.checkpoint()
+    assert read_manifest(disk, chain).manifest.seq == first + 1

@@ -1,0 +1,224 @@
+"""Shard rotation state machine: commit point, resolution, audit trail."""
+
+import pytest
+
+from repro.core.keys import KeyChain
+from repro.durability.vdisk import MemoryDisk
+from repro.errors import DiskError
+from repro.observability.audit import AUDIT
+from repro.sharding import ShardRotation, ShardedKeyspace
+from repro.sharding.manifest import read_manifest
+from repro.sharding.rotation import (
+    decode_epoch_transition,
+    encode_epoch_transition,
+)
+
+from tests.sharding.test_keyspace import MASTER, ROWS, seed
+
+NEW_MASTER = b"rotation-test-master-b-0123456789"
+
+
+def full_chain() -> KeyChain:
+    return KeyChain([MASTER, NEW_MASTER])
+
+
+def remount(disk: MemoryDisk, chain: KeyChain) -> ShardedKeyspace:
+    return ShardedKeyspace.open(MemoryDisk(disk.durable_state()), chain, workers=1)
+
+
+def test_epoch_transition_round_trip():
+    assert decode_epoch_transition(encode_epoch_transition(3, 4)) == (3, 4)
+
+
+def test_full_rotation_moves_every_shard_one_epoch():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    before = keyspace.select_range("recs", "id", 0, ROWS)
+    report = keyspace.rotate(NEW_MASTER)
+    assert report.to_epoch == 1
+    assert [o.shard_id for o in report.outcomes] == ["s0", "s1"]
+    assert report.skipped == ()
+    assert report.cells_reencrypted == ROWS * 2  # two sensitive columns
+    assert report.index_entries_reencrypted > 0
+    assert [s.epoch for s in keyspace.shards] == [1, 1]
+    # Live queries and a clean remount under the extended chain agree.
+    assert keyspace.select_range("recs", "id", 0, ROWS) == before
+    again = remount(disk, full_chain())
+    assert [s.epoch for s in again.shards] == [1, 1]
+    assert again.recovery.manifest == "ok"
+    assert again.select_range("recs", "id", 0, ROWS) == before
+
+
+def test_rotating_twice_skips_shards_already_at_the_head():
+    keyspace = seed(MemoryDisk(), KeyChain.single(MASTER))
+    keyspace.rotate(NEW_MASTER)
+    resumed = keyspace.rotate()  # no new key: bring stragglers to head
+    assert resumed.outcomes == ()
+    assert resumed.skipped == ("s0", "s1")
+
+
+def test_single_shard_rotation_leaves_the_sibling_behind():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    report = keyspace.rotate(NEW_MASTER, shard_id="s1")
+    assert [o.shard_id for o in report.outcomes] == ["s1"]
+    assert [s.epoch for s in keyspace.shards] == [0, 1]
+    again = remount(disk, full_chain())
+    assert [s.epoch for s in again.shards] == [0, 1]
+    assert again.count("recs") == ROWS
+    # Resume mode catches the straggler up to the chain head.
+    caught_up = again.rotate()
+    assert [o.shard_id for o in caught_up.outcomes] == ["s0"]
+    assert [s.epoch for s in again.shards] == [1, 1]
+
+
+def test_crash_before_commit_rolls_back():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    chain = keyspace.chain
+    chain.extend(NEW_MASTER)
+    rotation = ShardRotation(keyspace.shards[0], chain, 1)
+    steps = rotation.steps()
+    assert next(steps) == "armed"
+    # Power cut after the rotate_begin record: the survivor must resolve
+    # to the old epoch with every trace of the attempt erased.
+    survivor = remount(disk, full_chain())
+    shard = survivor.shards[0]
+    assert shard.epoch == 0
+    assert shard.resolution.rolled_back
+    assert not shard.degraded
+    assert survivor.count("recs") == ROWS
+
+
+def test_crash_after_commit_rolls_forward():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    chain = keyspace.chain
+    chain.extend(NEW_MASTER)
+    rotation = ShardRotation(keyspace.shards[0], chain, 1)
+    phases = []
+    for phase in rotation.steps():
+        phases.append(phase)
+        if phase == "committed":
+            break  # crash between the commit record and the install
+    assert "staged" in phases
+    survivor = remount(disk, full_chain())
+    shard = survivor.shards[0]
+    assert shard.epoch == 1
+    assert shard.resolution.rolled_forward
+    assert not shard.degraded
+    assert survivor.shards[1].epoch == 0  # the sibling is untouched
+    assert survivor.count("recs") == ROWS
+
+
+def test_stale_manifest_after_install_is_reconciled():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    chain = keyspace.chain
+    chain.extend(NEW_MASTER)
+    # Drive the machine to completion *without* the keyspace's manifest
+    # rewrite: the manifest now says epoch 0 while the bytes are at 1.
+    ShardRotation(keyspace.shards[0], chain, 1).run()
+    survivor = remount(disk, full_chain())
+    shard = survivor.shards[0]
+    assert shard.epoch == 1
+    assert any("bytes authenticate under epoch 1" in issue
+               for issue in survivor.recovery.issues)
+    assert survivor.recovery.manifest_repaired
+    assert survivor.count("recs") == ROWS
+    entry = read_manifest(survivor.disk, chain).manifest.entry("s0")
+    assert entry.key_epoch == 1
+
+
+def test_rotated_bytes_do_not_authenticate_under_the_old_chain():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    keyspace.rotate(NEW_MASTER)
+    # A mount that only knows epoch 0 cannot authenticate the shards:
+    # they degrade instead of silently serving unverified bytes.
+    stale = remount(disk, KeyChain.single(MASTER))
+    assert stale.degraded_shards == ["s0", "s1"]
+
+
+def test_wrong_chain_mount_never_destroys_recoverable_data():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    keyspace.rotate(NEW_MASTER)
+    survivor = MemoryDisk(disk.durable_state())
+    pristine = survivor.clone().durable_state()
+
+    # A chain sharing epoch 0 but with the wrong rotated key: nothing
+    # authenticates, so the mount degrades AND writes nothing — no
+    # salvaged-empty checkpoint fold, no re-signed manifest.
+    wrong_chain = KeyChain([MASTER, b"an-entirely-different-master!!!!"])
+    wrong = ShardedKeyspace.open(survivor, wrong_chain, workers=1)
+    assert wrong.degraded_shards == ["s0", "s1"]
+    assert not wrong.recovery.manifest_repaired
+    assert any("manifest left untouched" in i for i in wrong.recovery.issues)
+    assert survivor.clone().durable_state() == pristine
+    with pytest.raises(DiskError):
+        wrong.checkpoint()
+    assert survivor.clone().durable_state() == pristine
+
+    # The untouched bytes still mount cleanly under the true chain.
+    healthy = ShardedKeyspace.open(survivor, full_chain(), workers=1)
+    assert healthy.degraded_shards == []
+    assert healthy.recovery.manifest == "ok"
+    assert [s.epoch for s in healthy.shards] == [1, 1]
+    rows = healthy.select_range("recs", "id", 0, ROWS)
+    assert sorted(row[0] for _, _, row in rows) == list(range(ROWS))
+
+
+def test_rotation_target_validation():
+    keyspace = seed(MemoryDisk(), KeyChain.single(MASTER))
+    chain = keyspace.chain
+    with pytest.raises(ValueError):
+        ShardRotation(keyspace.shards[0], chain, 1)  # chain ends at epoch 0
+    chain.extend(NEW_MASTER)
+    keyspace.rotate()  # bring both shards to epoch 1
+    with pytest.raises(ValueError):
+        ShardRotation(keyspace.shards[0], chain, 1)  # already there
+
+
+def test_rotation_emits_audit_events():
+    keyspace = seed(MemoryDisk(), KeyChain.single(MASTER))
+    AUDIT.reset()
+    AUDIT.enable(timestamps=False)
+    try:
+        keyspace.rotate(NEW_MASTER)
+        kinds = [e["kind"] for e in AUDIT.events()
+                 if e["kind"].startswith("rotation.")]
+        begin = next(e for e in AUDIT.events() if e["kind"] == "rotation.begin")
+        commit = next(e for e in AUDIT.events()
+                      if e["kind"] == "rotation.shard-commit")
+        complete = next(e for e in AUDIT.events()
+                        if e["kind"] == "rotation.complete")
+    finally:
+        AUDIT.reset()
+    assert kinds == [
+        "rotation.begin", "rotation.shard-commit",
+        "rotation.begin", "rotation.shard-commit",
+        "rotation.complete",
+    ]
+    assert begin["shard"] == "s0" and begin["to_epoch"] == 1
+    assert commit["cells"] > 0 and commit["entries"] > 0
+    assert complete["rotated"] == 2 and complete["skipped"] == 0
+
+
+def test_abort_emits_an_audit_event_on_rollback():
+    disk = MemoryDisk()
+    keyspace = seed(disk, KeyChain.single(MASTER))
+    chain = keyspace.chain
+    chain.extend(NEW_MASTER)
+    steps = ShardRotation(keyspace.shards[0], chain, 1).steps()
+    next(steps)  # armed, then "crash"
+    AUDIT.reset()
+    AUDIT.enable(timestamps=False)
+    try:
+        remount(disk, full_chain())
+        aborts = [e for e in AUDIT.events() if e["kind"] == "rotation.abort"]
+    finally:
+        AUDIT.reset()
+    assert len(aborts) == 1
+    assert aborts[0]["shard"] == "s0"
+    assert aborts[0]["from_epoch"] == 0 and aborts[0]["to_epoch"] == 1

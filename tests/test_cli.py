@@ -271,6 +271,110 @@ def test_explain_rejects_unknown_flag(capsys):
     assert "unknown explain argument" in capsys.readouterr().err
 
 
+def test_rotate_fresh_keyspace_and_verify(tmp_path, capsys):
+    keyspace_dir = tmp_path / "ks"
+    assert main(["rotate", "--dir", str(keyspace_dir),
+                 "--new-seed", "first-rotation"]) == 0
+    out = capsys.readouterr().out
+    assert "created a fresh 2-shard keyspace" in out
+    assert "rotation to key epoch 1" in out
+    assert "verified: 2 shard(s) at epoch 1" in out
+
+
+def test_rotate_chains_epochs_across_invocations(tmp_path, capsys):
+    keyspace_dir = str(tmp_path / "ks")
+    assert main(["rotate", "--dir", keyspace_dir,
+                 "--new-seed", "first-rotation"]) == 0
+    capsys.readouterr()
+    # The second rotation must supply the full old lineage, oldest first.
+    assert main(["rotate", "--dir", keyspace_dir,
+                 "--old-seed", "repro-demo-master",
+                 "--old-seed", "first-rotation",
+                 "--new-seed", "second-rotation"]) == 0
+    out = capsys.readouterr().out
+    assert "rotation to key epoch 2" in out
+    assert "verified: 2 shard(s) at epoch 2" in out
+
+
+def test_rotate_single_shard_then_resume(tmp_path, capsys):
+    keyspace_dir = str(tmp_path / "ks")
+    assert main(["rotate", "--dir", keyspace_dir,
+                 "--new-seed", "first-rotation", "--shard", "s1"]) == 0
+    out = capsys.readouterr().out
+    assert "verified: 1 shard(s) at epoch 1" in out
+    # Resume mode: no new key, the chain already holds the target epoch;
+    # the lagging shard s0 is brought up to the head.
+    assert main(["rotate", "--dir", keyspace_dir,
+                 "--old-seed", "repro-demo-master",
+                 "--old-seed", "first-rotation"]) == 0
+    out = capsys.readouterr().out
+    assert "s0" in out and "verified: 1 shard(s) at epoch 1" in out
+
+
+def test_rotate_hex_key_round_trip(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-key", "00112233445566778899aabbccddeeff"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_rotate_requires_dir(capsys):
+    assert main(["rotate", "--new-seed", "x"]) == 2
+    assert "requires --dir" in capsys.readouterr().err
+
+
+def test_rotate_requires_a_new_key(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks")]) == 2
+    assert "requires --new-key" in capsys.readouterr().err
+
+
+def test_rotate_rejects_two_new_keys(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-seed", "a", "--new-seed", "b"]) == 2
+    assert "exactly one new key" in capsys.readouterr().err
+
+
+def test_rotate_rejects_bad_hex_and_short_keys(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-key", "zz"]) == 2
+    assert "hex string" in capsys.readouterr().err
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-key", "00ff"]) == 2
+    assert "at least 16 bytes" in capsys.readouterr().err
+
+
+def test_rotate_rejects_reused_key(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--old-seed", "same", "--new-seed", "same"]) == 2
+    assert "must differ" in capsys.readouterr().err
+
+
+def test_rotate_rejects_unknown_config_and_shard_count(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-seed", "x", "--config", "nope"]) == 2
+    assert "unknown configuration slug" in capsys.readouterr().err
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-seed", "x", "--shards", "0"]) == 2
+    assert "at least 1" in capsys.readouterr().err
+
+
+def test_rotate_rejects_unknown_shard_id(tmp_path, capsys):
+    assert main(["rotate", "--dir", str(tmp_path / "ks"),
+                 "--new-seed", "x", "--shard", "s9"]) == 2
+    captured = capsys.readouterr()
+    assert "no shard 's9'" in captured.err
+    assert "s0, s1" in captured.err
+
+
+def test_rotate_rejects_unknown_flag(capsys):
+    assert main(["rotate", "--frobnicate"]) == 2
+    assert "unknown rotate argument" in capsys.readouterr().err
+
+
+def test_crashcampaign_rejects_unknown_phase(capsys):
+    assert main(["crashcampaign", "--phases", "teleport"]) == 2
+    assert "campaign phase" in capsys.readouterr().err
+
+
 def test_audit_live_then_replay_round_trip(tmp_path, capsys):
     assert main(["audit", "--live", "--configs", "aead-eax",
                  "--log-dir", str(tmp_path)]) == 0
