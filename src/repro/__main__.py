@@ -21,6 +21,13 @@ Commands:
   against that report (``--threshold F`` sets the fractional wall-time
   tolerance, default 0.25; ``--delta-out PATH`` writes the comparison
   document) and exit non-zero on regression.
+* ``backendparity [--out PATH]`` — cross-backend ciphertext-equivalence
+  sweep: every registered block-cipher backend (pure reference,
+  optimized T-table, any plugin) must emit byte-identical raw blocks,
+  byte-identical database images for all six campaign configurations,
+  and the batched ``insert_many`` path must match the sequential loop.
+  Prints the SHA-256 parity matrix, optionally writes it as JSON, and
+  exits non-zero on any divergence.
 * ``crashcampaign [--rows N] [--limit N] [--configs slug,...]
   [--modes m,...] [--phases p,...]`` — power-cut a journaled database
   at every write boundary of a seeded workload (or N evenly-spaced
@@ -579,6 +586,119 @@ def _bench(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def _backendparity(argv: list[str]) -> int:
+    """Cross-backend equivalence sweep: every registered cipher backend
+    must produce byte-identical output at three layers — raw blocks,
+    whole database images, and batched-vs-sequential engine paths."""
+    import hashlib
+    import json as _json
+
+    from repro.engine.storage import dump_database
+    from repro.primitives.backends import available_backends, get_backend
+    from repro.robustness.campaign import build_campaign_db, default_campaign_configs
+
+    out: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--out" or arg.startswith("--out="):
+            out = _flag_value(arg, args, "--out")
+        else:
+            raise UsageError(f"unknown backendparity argument {arg!r}")
+
+    backends = available_backends()
+    reference = backends[0]
+    failures: list[str] = []
+    document: dict = {"backends": list(backends), "reference": reference}
+
+    # Layer 1: raw block equivalence per algorithm, both directions,
+    # single-block and batch paths, deterministic pseudorandom inputs.
+    def material(tag: str, length: int) -> bytes:
+        stream = b""
+        counter = 0
+        while len(stream) < length:
+            stream += hashlib.sha256(b"parity/%s/%d" % (tag.encode(), counter)).digest()
+            counter += 1
+        return stream[:length]
+
+    algorithms = [
+        ("aes-128", 16),
+        ("aes-192", 24),
+        ("aes-256", 32),
+        ("des", 8),
+        ("3des", 24),
+    ]
+    primitive_rows: list[dict] = []
+    for algorithm, key_size in algorithms:
+        key = material("key/" + algorithm, key_size)
+        ciphers = {name: get_backend(name).create(algorithm, key) for name in backends}
+        block_size = ciphers[reference].block_size
+        blocks = [
+            material(f"block/{algorithm}/{i}", block_size) for i in range(32)
+        ]
+        expected = [ciphers[reference].encrypt_block(block) for block in blocks]
+        row = {"algorithm": algorithm, "ok": True}
+        for name, cipher in ciphers.items():
+            sequential = [cipher.encrypt_block(block) for block in blocks]
+            batched = cipher.encrypt_blocks(blocks)
+            recovered = cipher.decrypt_blocks(batched)
+            if sequential != expected or batched != expected or recovered != blocks:
+                row["ok"] = False
+                failures.append(f"primitive divergence: {algorithm} under {name!r}")
+        primitive_rows.append(row)
+    document["primitives"] = primitive_rows
+
+    # Layer 2 + 3: whole-image SHA-256 per campaign config per backend,
+    # plus the batched insert path against the sequential loop.
+    rows = 8
+    image_rows: list[dict] = []
+    for label, config in default_campaign_configs():
+        hashes: dict[str, str] = {}
+        for name in backends:
+            db = build_campaign_db(config.with_(backend=name), rows)
+            hashes[name] = hashlib.sha256(dump_database(db)).hexdigest()
+        batch_db = build_campaign_db(
+            config.with_(backend=reference), rows, batched=True
+        )
+        batch_hash = hashlib.sha256(dump_database(batch_db)).hexdigest()
+        ok = len(set(hashes.values())) == 1 and batch_hash == hashes[reference]
+        if not ok:
+            failures.append(f"image divergence: {label!r}: {hashes} batch={batch_hash}")
+        image_rows.append(
+            {"config": label, "ok": ok, "hashes": hashes, "batched": batch_hash}
+        )
+    document["images"] = image_rows
+    document["ok"] = not failures
+
+    print(
+        format_table(
+            ["config", "parity"]
+            + [f"sha256 ({name})" for name in backends]
+            + ["sha256 (batched)"],
+            [
+                [row["config"], "ok" if row["ok"] else "DIVERGED"]
+                + [row["hashes"][name][:16] for name in backends]
+                + [row["batched"][:16]]
+                for row in image_rows
+            ],
+            caption=f"cross-backend image parity ({rows} rows per config)",
+        )
+    )
+    print(
+        f"primitive sweep: "
+        f"{sum(1 for r in primitive_rows if r['ok'])}/{len(primitive_rows)} "
+        f"algorithms byte-identical across {len(backends)} backends"
+    )
+    if out is not None:
+        from pathlib import Path as _Path
+
+        _Path(out).write_text(_json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"parity report written to {out}")
+    for failure in failures:
+        print(f"DIVERGENCE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _audit_replay(
     log_path: str, metrics_jsonl: str | None, metrics_prom: str | None
 ) -> int:
@@ -875,6 +995,8 @@ def main(argv: list[str] | None = None) -> int:
             return _rotate(rest)
         if command == "bench":
             return _bench(rest)
+        if command == "backendparity":
+            return _backendparity(rest)
         if command == "audit":
             return _audit(rest)
         if command == "trace":

@@ -21,6 +21,8 @@ a :class:`~repro.primitives.blockcipher.CountingCipher`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.aead.base import AEAD
 from repro.primitives.blockcipher import BlockCipher
 from repro.primitives.util import (
@@ -28,6 +30,7 @@ from repro.primitives.util import (
     gf_double,
     int_to_bytes,
     iter_blocks,
+    split_blocks,
     xor_bytes_strict,
 )
 
@@ -79,6 +82,50 @@ class EAX(AEAD):
             state = self._cipher.encrypt_block(xor_bytes_strict(chunk, state))
         return self._cipher.encrypt_block(xor_bytes_strict(final, state))
 
+    def _omac_tweaked_many(self, tweak: int, messages: Sequence[bytes]) -> list[bytes]:
+        """Batch of :meth:`_omac_tweaked` over one tweak.
+
+        The OMAC chain is sequential *within* a message but independent
+        *across* messages, so wave ``k`` processes chain step ``k`` of
+        every still-active message in one cipher call.  Same bytes, same
+        per-message invocation count as the sequential method.
+        """
+        block = self.block_size
+        results: list[bytes] = [b""] * len(messages)
+        empties = [i for i, message in enumerate(messages) if not message]
+        if empties:
+            masked = xor_bytes_strict(int_to_bytes(tweak, block), self._k1)
+            batch = self._cipher.encrypt_blocks([masked] * len(empties))
+            for i, out in zip(empties, batch):
+                results[i] = out
+        live = [i for i, message in enumerate(messages) if message]
+        bodies: dict[int, list[bytes]] = {}
+        finals: dict[int, bytes] = {}
+        states: dict[int, bytes] = {}
+        for i in live:
+            message = messages[i]
+            if len(message) % block == 0:
+                body, last = message[:-block], message[-block:]
+                finals[i] = xor_bytes_strict(last, self._k1)
+            else:
+                cut = (len(message) // block) * block
+                body, remainder = message[:cut], message[cut:]
+                padded = remainder + b"\x80" + bytes(block - len(remainder) - 1)
+                finals[i] = xor_bytes_strict(padded, self._k2)
+            bodies[i] = split_blocks(body, block) if body else []
+            states[i] = self._tweak_state[tweak]
+        depth = max((len(bodies[i]) for i in live), default=0)
+        for k in range(depth):
+            wave = [i for i in live if k < len(bodies[i])]
+            inputs = [xor_bytes_strict(bodies[i][k], states[i]) for i in wave]
+            for i, out in zip(wave, self._cipher.encrypt_blocks(inputs)):
+                states[i] = out
+        if live:
+            inputs = [xor_bytes_strict(finals[i], states[i]) for i in live]
+            for i, out in zip(live, self._cipher.encrypt_blocks(inputs)):
+                results[i] = out
+        return results
+
     def _ctr_stream(self, start_block: bytes, length: int) -> bytes:
         block = self.block_size
         counter = int.from_bytes(start_block, "big")
@@ -113,3 +160,72 @@ class EAX(AEAD):
             raise self._invalid()
         stream = self._ctr_stream(n_mac, len(ciphertext))
         return xor_bytes_strict(ciphertext, stream)
+
+    # -- batched AEAD interface ------------------------------------------------
+
+    def _ctr_stream_many(
+        self, starts: Sequence[bytes], lengths: Sequence[int]
+    ) -> list[bytes]:
+        """All CTR keystreams of the batch in one cipher call."""
+        block = self.block_size
+        modulus = 256**block
+        inputs: list[bytes] = []
+        spans: list[tuple[int, int, int]] = []
+        for start, length in zip(starts, lengths):
+            counter = int.from_bytes(start, "big")
+            needed = -(-length // block)
+            begin = len(inputs)
+            for j in range(needed):
+                inputs.append(int_to_bytes((counter + j) % modulus, block))
+            spans.append((begin, needed, length))
+        keystream = self._cipher.encrypt_blocks(inputs)
+        return [
+            b"".join(keystream[begin : begin + needed])[:length]
+            for begin, needed, length in spans
+        ]
+
+    def encrypt_batch(
+        self, items: Sequence[tuple[bytes, bytes, bytes]]
+    ) -> list[tuple[bytes, bytes]]:
+        if not items:
+            return []
+        nonces = [nonce for nonce, _, _ in items]
+        for nonce in nonces:
+            self._check_nonce(nonce)
+        n_macs = self._omac_tweaked_many(0, nonces)
+        h_macs = self._omac_tweaked_many(1, [header for _, _, header in items])
+        streams = self._ctr_stream_many(
+            n_macs, [len(plaintext) for _, plaintext, _ in items]
+        )
+        ciphertexts = [
+            xor_bytes_strict(plaintext, stream)
+            for (_, plaintext, _), stream in zip(items, streams)
+        ]
+        c_macs = self._omac_tweaked_many(2, ciphertexts)
+        out = []
+        for ciphertext, n_mac, h_mac, c_mac in zip(ciphertexts, n_macs, h_macs, c_macs):
+            tag = xor_bytes_strict(xor_bytes_strict(n_mac, c_mac), h_mac)
+            out.append((ciphertext, tag[: self.tag_size]))
+        return out
+
+    def decrypt_batch(
+        self, items: Sequence[tuple[bytes, bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        if not items:
+            return []
+        for nonce, _, _, _ in items:
+            self._check_nonce(nonce)
+        n_macs = self._omac_tweaked_many(0, [nonce for nonce, *_ in items])
+        h_macs = self._omac_tweaked_many(1, [header for *_, header in items])
+        c_macs = self._omac_tweaked_many(2, [c for _, c, _, _ in items])
+        for (_, _, tag, _), n_mac, h_mac, c_mac in zip(items, n_macs, h_macs, c_macs):
+            expected = xor_bytes_strict(xor_bytes_strict(n_mac, c_mac), h_mac)
+            if not constant_time_equal(expected[: self.tag_size], tag):
+                raise self._invalid()
+        streams = self._ctr_stream_many(
+            n_macs, [len(ciphertext) for _, ciphertext, _, _ in items]
+        )
+        return [
+            xor_bytes_strict(ciphertext, stream)
+            for (_, ciphertext, _, _), stream in zip(items, streams)
+        ]

@@ -51,8 +51,7 @@ from repro.observability import (
     maybe_instrument_cipher,
     maybe_instrument_mac,
 )
-from repro.primitives.aes import AES
-from repro.primitives.des import DES, TripleDES
+from repro.primitives.backends import available_backends, make_cipher
 from repro.primitives.rng import (
     CountingNonceSource,
     DeterministicRandom,
@@ -88,6 +87,13 @@ class EncryptionConfig:
     #: 2^b for b-octet blocks, so DES (b = 8) is dramatically weaker.
     #: The AEAD fix always runs over AES (its schemes need 128-bit blocks).
     cipher: str = "aes"
+    #: Block-cipher *backend* (implementation) from the pluggable registry
+    #: in :mod:`repro.primitives.backends`: ``"pure"`` (reference),
+    #: ``"optimized"`` (T-table AES), or any registered name.  ``None``
+    #: defers to ``set_default_backend`` / ``$REPRO_CIPHER_BACKEND`` /
+    #: ``"pure"``.  Backends are byte-for-byte interchangeable; the CI
+    #: parity matrix enforces it.
+    backend: str | None = None
 
     def validate(self) -> None:
         if self.cell_scheme not in _CELL_SCHEMES:
@@ -100,6 +106,10 @@ class EncryptionConfig:
             raise SchemaError(f"iv_policy must be one of {_IV_POLICIES}")
         if self.cipher not in _CIPHERS:
             raise SchemaError(f"cipher must be one of {_CIPHERS}")
+        if self.backend is not None and self.backend not in available_backends():
+            raise SchemaError(
+                f"backend must be one of {available_backends()} (or None)"
+            )
 
     @classmethod
     def paper_broken(cls, cell_scheme: str = "append", index_scheme: str = "sdm2004") -> "EncryptionConfig":
@@ -123,12 +133,14 @@ class EncryptionConfig:
         return replace(self, **changes)
 
 
-def _make_aead(name: str, key: bytes) -> AEAD:
+def _make_aead(name: str, key: bytes, backend: str | None = None) -> AEAD:
     # When observability is enabled at construction time, the underlying
     # AES is wrapped so every raw blockcipher invocation — the paper's
-    # Sect. 4 unit of account — lands in the metrics registry.
+    # Sect. 4 unit of account — lands in the metrics registry.  The
+    # backend only picks an implementation; every backend emits the same
+    # bytes and the same counter names.
     def aes(k: bytes):
-        return maybe_instrument_cipher(AES(k))
+        return maybe_instrument_cipher(make_cipher("aes", k, backend=backend))
 
     if name == "eax":
         return maybe_instrument_aead(EAX(aes(key)))
@@ -200,12 +212,13 @@ class EncryptedDatabase(Database):
 
     def _legacy_cipher(self, key: bytes):
         """Block cipher instance for the [3]/[12] schemes."""
+        backend = self.config.backend
         if self.config.cipher == "des":
-            cipher = DES(key[:8])
+            cipher = make_cipher("des", key[:8], backend=backend)
         elif self.config.cipher == "3des":
-            cipher = TripleDES(key + key[:8])
+            cipher = make_cipher("3des", key + key[:8], backend=backend)
         else:
-            cipher = AES(key)
+            cipher = make_cipher("aes", key, backend=backend)
         return maybe_instrument_cipher(cipher)
 
     def _mode(self, key: bytes):
@@ -236,13 +249,15 @@ class EncryptedDatabase(Database):
             from repro.core.access import ColumnKeyedCellScheme
 
             def factory(key: bytes) -> AEAD:
-                return _make_aead(self.config.aead, key)
+                return _make_aead(self.config.aead, key, backend=self.config.backend)
 
-            probe = _make_aead(self.config.aead, bytes(16))
+            probe = _make_aead(self.config.aead, bytes(16), backend=self.config.backend)
             return ColumnKeyedCellScheme(
                 self.keys, factory, nonce_size=_nonce_size_for(probe)
             )
-        aead = _make_aead(self.config.aead, self.keys.cell_key())
+        aead = _make_aead(
+            self.config.aead, self.keys.cell_key(), backend=self.config.backend
+        )
         return AeadCellScheme(aead, CountingNonceSource(_nonce_size_for(aead)))
 
     def _build_index_codec(
@@ -279,7 +294,9 @@ class EncryptedDatabase(Database):
                 randomness_size=self.config.randomness_size,
                 faithful_leaf_bug=self.config.faithful_leaf_bug,
             )
-        aead = _make_aead(self.config.aead, self.keys.index_key())
+        aead = _make_aead(
+            self.config.aead, self.keys.index_key(), backend=self.config.backend
+        )
         return AeadIndexCodec(
             aead,
             CountingNonceSource(_nonce_size_for(aead)),

@@ -45,6 +45,20 @@ class CellCodec(ABC):
         """Recover the canonical encoding; verifies whatever the scheme
         authenticates and raises on failure."""
 
+    def encode_cells(self, items: Sequence[tuple[bytes, CellAddress]]) -> list[bytes]:
+        """Batch encode: equal to ``[self.encode_cell(p, a) for p, a in items]``.
+
+        Byte-for-byte, in list order — schemes that draw nonces or IVs
+        consume them in exactly the order the sequential loop would.
+        Overridden by schemes with a batchable crypto core.
+        """
+        return [self.encode_cell(plaintext, address) for plaintext, address in items]
+
+    def decode_cells(self, items: Sequence[tuple[bytes, CellAddress]]) -> list[bytes]:
+        """Batch decode: equal to ``[self.decode_cell(s, a) for s, a in items]``
+        on success; any verification failure raises for the whole batch."""
+        return [self.decode_cell(stored, address) for stored, address in items]
+
 
 class PlainCellCodec(CellCodec):
     """Identity codec: the unencrypted baseline."""
@@ -148,11 +162,9 @@ class Database:
             raise SchemaError(f"unknown index kind {kind!r}")
 
         info = IndexInfo(name, table_name, column_name, structure)
-        pairs = [
-            (self._plain_cell(table, row_id, column_pos), row_id)
-            for row_id, _ in table.scan()
-        ]
-        structure.bulk_build(pairs)
+        row_ids = [row_id for row_id, _ in table.scan()]
+        plains = self._plain_cells_batch(table, row_ids, column_pos)
+        structure.bulk_build(list(zip(plains, row_ids)))
         self._indexes[name] = info
         self._indexes_by_column.setdefault((table_name, column_name), []).append(info)
         return info
@@ -223,6 +235,45 @@ class Database:
             column_pos = table.schema.column_index(info.column)
             info.structure.insert(plain_cells[column_pos], row_id)
         return row_id
+
+    @timed("db.insert_many")
+    def insert_many(
+        self, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        """Bulk insert through the batched cell-codec path.
+
+        Storage is byte-identical to ``[self.insert(table_name, r) for r in
+        rows]``: row ids are allocated up front (addresses bind row ids),
+        sensitive cells are batch-encoded in exactly the row-major order the
+        sequential path uses — so nonce and IV consumption matches — and
+        index maintenance runs per row in the same order.
+        """
+        table = self.table(table_name)
+        encoded_rows = [table.schema.encode_row(values) for values in rows]
+        row_ids = [table.insert_cells([b""] * len(cells)) for cells in encoded_rows]
+        sensitive = {
+            pos
+            for pos, column in enumerate(table.schema.columns)
+            if column.sensitive
+        }
+        items: list[tuple[bytes, CellAddress]] = []
+        for row_id, cells in zip(row_ids, encoded_rows):
+            for pos in sorted(sensitive):
+                items.append((cells[pos], table.address(row_id, pos)))
+        stored_batch = self._encode_cells_batch(table, items)
+        cursor = 0
+        for row_id, cells in zip(row_ids, encoded_rows):
+            for pos, plain in enumerate(cells):
+                if pos in sensitive:
+                    table.set_cell(row_id, pos, stored_batch[cursor])
+                    cursor += 1
+                else:
+                    table.set_cell(row_id, pos, plain)
+        for row_id, cells in zip(row_ids, encoded_rows):
+            for info in self._table_indexes(table_name):
+                column_pos = table.schema.column_index(info.column)
+                info.structure.insert(cells[column_pos], row_id)
+        return row_ids
 
     def get_row(self, table_name: str, row_id: int) -> list[Any]:
         """Read one row back through the cell codec (verifying)."""
@@ -441,6 +492,37 @@ class Database:
                     return self._cell_codec.decode_cell(stored, address)
             return self._cell_codec.decode_cell(stored, address)
         return stored
+
+    def _encode_cells_batch(
+        self, table: Table, items: Sequence[tuple[bytes, CellAddress]]
+    ) -> list[bytes]:
+        """Batch-encode sensitive cells under one trace span."""
+        if TRACER.enabled:
+            with TRACER.span("cell.encrypt_batch", table=table.schema.name) as span:
+                stored = self._cell_codec.encode_cells(items)
+                span.add_cost("cells", len(items))
+                span.add_cost("plain_bytes", sum(len(p) for p, _ in items))
+                span.add_cost("stored_bytes", sum(len(s) for s in stored))
+                return stored
+        return self._cell_codec.encode_cells(items)
+
+    def _plain_cells_batch(
+        self, table: Table, row_ids: Sequence[int], column_pos: int
+    ) -> list[bytes]:
+        """Decode one column of many rows through the codec batch path."""
+        stored = [table.get_cell(row_id, column_pos) for row_id in row_ids]
+        if not table.schema.columns[column_pos].sensitive:
+            return stored
+        items = [
+            (cell, table.address(row_id, column_pos))
+            for cell, row_id in zip(stored, row_ids)
+        ]
+        if TRACER.enabled:
+            with TRACER.span("cell.decrypt_batch", table=table.schema.name) as span:
+                span.add_cost("cells", len(items))
+                span.add_cost("stored_bytes", sum(len(c) for c in stored))
+                return self._cell_codec.decode_cells(items)
+        return self._cell_codec.decode_cells(items)
 
     def _scan_filter(
         self, table_name: str, column_name: str, predicate: Callable[[bytes], bool]

@@ -6,7 +6,25 @@ checksum µ), HMAC, padding schemes, and random/nonce sources.  Higher
 layers (modes, MACs, AEAD) build exclusively on these interfaces.
 """
 
-from repro.primitives.aes import AES
+from repro.primitives.aes import (
+    AES,
+    clear_key_schedule_cache,
+    expand_key,
+    key_schedule_expansions,
+)
+from repro.primitives.aes_fast import FastAES
+from repro.primitives.backends import (
+    BACKEND_ENV_VAR,
+    CipherBackend,
+    OptimizedBackend,
+    PureBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    make_cipher,
+    register_backend,
+    set_default_backend,
+)
 from repro.primitives.blockcipher import BlockCipher, CountingCipher, IdentityCipher
 from repro.primitives.des import DES, TripleDES
 from repro.primitives.hmac import HMAC, hmac_sha1, hmac_sha256, make_keyed_hash
@@ -33,18 +51,23 @@ from repro.primitives.sha256 import SHA256, sha256
 
 __all__ = [
     "AES",
+    "BACKEND_ENV_VAR",
     "BlockCipher",
+    "CipherBackend",
     "CountingCipher",
     "CountingNonceSource",
     "DES",
+    "FastAES",
     "DeterministicRandom",
     "HMAC",
     "IdentityCipher",
     "NONE",
     "NoPadding",
+    "OptimizedBackend",
     "PKCS7",
     "PKCS7Padding",
     "PaddingScheme",
+    "PureBackend",
     "RandomNonceSource",
     "RandomSource",
     "RepeatingNonceSource",
@@ -54,27 +77,20 @@ __all__ = [
     "TripleDES",
     "ZERO",
     "ZeroPadding",
+    "available_backends",
+    "clear_key_schedule_cache",
+    "default_backend_name",
+    "expand_key",
+    "get_backend",
     "get_padding",
     "hmac_sha1",
     "hmac_sha256",
+    "key_schedule_expansions",
+    "make_cipher",
     "make_keyed_hash",
+    "register_backend",
+    "set_default_backend",
     "sha1",
     "sha1_truncated",
     "sha256",
 ]
-
-
-def make_cipher(name: str, key: bytes) -> BlockCipher:
-    """Instantiate a registered block cipher by name.
-
-    Supported names: ``aes`` (key length selects the variant), ``des``,
-    ``3des``.
-    """
-    normalized = name.lower().replace("_", "-")
-    if normalized in ("aes", "aes-128", "aes-192", "aes-256"):
-        return AES(key)
-    if normalized == "des":
-        return DES(key)
-    if normalized in ("3des", "tdes", "des3"):
-        return TripleDES(key)
-    raise ValueError(f"unknown block cipher {name!r}")

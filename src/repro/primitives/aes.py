@@ -9,10 +9,18 @@ test suite.
 
 This is a reference implementation optimised for clarity and auditability,
 not speed; the benchmark harness measures block-cipher *invocation counts*
-(Sect. 4 of the paper), which are implementation independent.
+(Sect. 4 of the paper), which are implementation independent.  The key
+schedule, however, is a pure function of the key bytes and is cached at
+module level: constructing many cipher instances over the same key (one
+per cell codec, AEAD subkey, or batch) costs one expansion per distinct
+key, not one per instance.  ``repro.primitives.aes_fast`` reuses the same
+cache for its packed T-table schedules.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 from repro.errors import KeyLengthError
 from repro.primitives.blockcipher import BlockCipher
@@ -67,6 +75,84 @@ while len(_RCON) < 14:
     _RCON.append(_gf_multiply(_RCON[-1], 2))
 
 
+# -- cached key schedule ------------------------------------------------------
+#
+# Historically every AES instance re-ran the full FIPS 197 expansion in its
+# constructor, so a batch that built N wrappers over the same key paid N
+# expansions.  The schedule depends only on the key bytes, so it is computed
+# once per distinct key and shared; the regression test in
+# ``tests/primitives/test_backends.py`` pins the one-expansion-per-key
+# contract.
+
+_MAX_CACHED_SCHEDULES = 128
+
+_schedule_cache: OrderedDict[bytes, tuple[tuple[int, ...], ...]] = OrderedDict()
+_schedule_lock = threading.Lock()
+_expansion_count = 0
+
+
+def key_schedule_expansions() -> int:
+    """Full key expansions run since import (or the last cache clear)."""
+    return _expansion_count
+
+
+def clear_key_schedule_cache() -> None:
+    """Drop every cached schedule and zero the expansion counter (tests)."""
+    global _expansion_count
+    with _schedule_lock:
+        _schedule_cache.clear()
+        _expansion_count = 0
+
+
+def _expand_key_schedule(key: bytes) -> tuple[tuple[int, ...], ...]:
+    """FIPS 197 key expansion into per-round 16-byte column-major keys."""
+    rounds = _ROUNDS_BY_KEY_LENGTH[len(key)]
+    nk = len(key) // 4
+    total_words = 4 * (rounds + 1)
+    words: list[list[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, total_words):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            temp = [_SBOX[b] for b in temp]
+        words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+    # Group words into per-round 16-byte keys, flattened column-major.
+    round_keys = []
+    for round_index in range(rounds + 1):
+        flat: list[int] = []
+        for word in words[4 * round_index : 4 * round_index + 4]:
+            flat.extend(word)
+        round_keys.append(tuple(flat))
+    return tuple(round_keys)
+
+
+def expand_key(key: bytes) -> tuple[tuple[int, ...], ...]:
+    """The cached AES key schedule for ``key``.
+
+    Expansion runs at most once per distinct key; later lookups (including
+    from the optimized backend, which derives its packed word schedules
+    from this result) are dictionary hits.
+    """
+    global _expansion_count
+    if len(key) not in _ROUNDS_BY_KEY_LENGTH:
+        raise KeyLengthError(f"AES keys must be 16, 24, or 32 bytes, got {len(key)}")
+    cache_key = bytes(key)
+    with _schedule_lock:
+        cached = _schedule_cache.get(cache_key)
+        if cached is not None:
+            _schedule_cache.move_to_end(cache_key)
+            return cached
+        schedule = _expand_key_schedule(cache_key)
+        _expansion_count += 1
+        _schedule_cache[cache_key] = schedule
+        while len(_schedule_cache) > _MAX_CACHED_SCHEDULES:
+            _schedule_cache.popitem(last=False)
+        return schedule
+
+
 class AES(BlockCipher):
     """The AES block cipher with 128-, 192-, or 256-bit keys."""
 
@@ -79,36 +165,12 @@ class AES(BlockCipher):
             )
         self._rounds = _ROUNDS_BY_KEY_LENGTH[len(key)]
         self.name = f"aes-{len(key) * 8}"
-        self._round_keys = self._expand_key(key)
-
-    # -- key schedule -----------------------------------------------------
-
-    def _expand_key(self, key: bytes) -> list[list[int]]:
-        nk = len(key) // 4
-        total_words = 4 * (self._rounds + 1)
-        words: list[list[int]] = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
-        for i in range(nk, total_words):
-            temp = list(words[i - 1])
-            if i % nk == 0:
-                temp = temp[1:] + temp[:1]
-                temp = [_SBOX[b] for b in temp]
-                temp[0] ^= _RCON[i // nk - 1]
-            elif nk > 6 and i % nk == 4:
-                temp = [_SBOX[b] for b in temp]
-            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
-        # Group words into per-round 16-byte keys, flattened column-major.
-        round_keys = []
-        for round_index in range(self._rounds + 1):
-            flat: list[int] = []
-            for word in words[4 * round_index:4 * round_index + 4]:
-                flat.extend(word)
-            round_keys.append(flat)
-        return round_keys
+        self._round_keys = expand_key(key)
 
     # -- state helpers ----------------------------------------------------
 
     @staticmethod
-    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    def _add_round_key(state: list[int], round_key: tuple[int, ...]) -> None:
         for i in range(16):
             state[i] ^= round_key[i]
 
@@ -137,7 +199,7 @@ class AES(BlockCipher):
     @staticmethod
     def _mix_columns(state: list[int]) -> None:
         for c in range(4):
-            col = state[4 * c:4 * c + 4]
+            col = state[4 * c : 4 * c + 4]
             state[4 * c + 0] = (
                 _gf_multiply(col[0], 2) ^ _gf_multiply(col[1], 3) ^ col[2] ^ col[3]
             )
@@ -154,22 +216,30 @@ class AES(BlockCipher):
     @staticmethod
     def _inv_mix_columns(state: list[int]) -> None:
         for c in range(4):
-            col = state[4 * c:4 * c + 4]
+            col = state[4 * c : 4 * c + 4]
             state[4 * c + 0] = (
-                _gf_multiply(col[0], 14) ^ _gf_multiply(col[1], 11)
-                ^ _gf_multiply(col[2], 13) ^ _gf_multiply(col[3], 9)
+                _gf_multiply(col[0], 14)
+                ^ _gf_multiply(col[1], 11)
+                ^ _gf_multiply(col[2], 13)
+                ^ _gf_multiply(col[3], 9)
             )
             state[4 * c + 1] = (
-                _gf_multiply(col[0], 9) ^ _gf_multiply(col[1], 14)
-                ^ _gf_multiply(col[2], 11) ^ _gf_multiply(col[3], 13)
+                _gf_multiply(col[0], 9)
+                ^ _gf_multiply(col[1], 14)
+                ^ _gf_multiply(col[2], 11)
+                ^ _gf_multiply(col[3], 13)
             )
             state[4 * c + 2] = (
-                _gf_multiply(col[0], 13) ^ _gf_multiply(col[1], 9)
-                ^ _gf_multiply(col[2], 14) ^ _gf_multiply(col[3], 11)
+                _gf_multiply(col[0], 13)
+                ^ _gf_multiply(col[1], 9)
+                ^ _gf_multiply(col[2], 14)
+                ^ _gf_multiply(col[3], 11)
             )
             state[4 * c + 3] = (
-                _gf_multiply(col[0], 11) ^ _gf_multiply(col[1], 13)
-                ^ _gf_multiply(col[2], 9) ^ _gf_multiply(col[3], 14)
+                _gf_multiply(col[0], 11)
+                ^ _gf_multiply(col[1], 13)
+                ^ _gf_multiply(col[2], 9)
+                ^ _gf_multiply(col[3], 14)
             )
 
     # -- public API ---------------------------------------------------------

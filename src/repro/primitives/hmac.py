@@ -58,6 +58,8 @@ def hmac_sha1(key: bytes, data: bytes) -> bytes:
 
 def make_keyed_hash(key: bytes, hash_cls: Type = SHA256) -> Callable[[bytes], bytes]:
     """Return a unary keyed-hash closure (drop-in replacement for µ's h)."""
+
     def keyed(data: bytes) -> bytes:
         return HMAC(key, hash_cls, data).digest()
+
     return keyed

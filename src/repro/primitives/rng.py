@@ -27,7 +27,7 @@ class RandomSource(ABC):
         if upper <= 0:
             raise ValueError("upper bound must be positive")
         nbytes = (upper.bit_length() + 7) // 8
-        limit = (256 ** nbytes // upper) * upper
+        limit = (256**nbytes // upper) * upper
         while True:
             value = int.from_bytes(self.bytes(nbytes), "big")
             if value < limit:
@@ -109,7 +109,7 @@ class CountingNonceSource:
 
     def next(self) -> bytes:
         value = self._next
-        if value >= 256 ** self._size:
+        if value >= 256**self._size:
             raise OverflowError("nonce counter exhausted")
         self._next += 1
         return int_to_bytes(value, self._size)

@@ -38,7 +38,7 @@ class SHA1:
         buffer = self._pending + data
         offset = 0
         while offset + 64 <= len(buffer):
-            self._compress(buffer[offset:offset + 64])
+            self._compress(buffer[offset : offset + 64])
             offset += 64
         self._pending = buffer[offset:]
 
@@ -84,9 +84,7 @@ class SHA1:
             temp = (rotl32(a, 5) + f + e + k + w[i]) & _MASK
             e, d, c, b, a = d, c, rotl32(b, 30), a, temp
 
-        self._state = [
-            (x + y) & _MASK for x, y in zip(self._state, (a, b, c, d, e))
-        ]
+        self._state = [(x + y) & _MASK for x, y in zip(self._state, (a, b, c, d, e))]
 
 
 def sha1(data: bytes) -> bytes:

@@ -11,6 +11,7 @@ import struct
 
 from repro.primitives.util import rotr32
 
+# fmt: off
 _K = (
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
     0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
@@ -35,6 +36,7 @@ _INITIAL_STATE = (
     0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
 )
 
+# fmt: on
 _MASK = 0xFFFFFFFF
 
 
@@ -58,7 +60,7 @@ class SHA256:
         buffer = self._pending + data
         offset = 0
         while offset + 64 <= len(buffer):
-            self._compress(buffer[offset:offset + 64])
+            self._compress(buffer[offset : offset + 64])
             offset += 64
         self._pending = buffer[offset:]
 

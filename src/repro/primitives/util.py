@@ -48,7 +48,7 @@ def split_blocks(data: bytes, block_size: int) -> list[bytes]:
     """
     if block_size <= 0:
         raise ValueError("block_size must be positive")
-    return [data[i:i + block_size] for i in range(0, len(data), block_size)]
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)]
 
 
 def iter_blocks(data: bytes, block_size: int) -> Iterator[bytes]:
@@ -56,7 +56,7 @@ def iter_blocks(data: bytes, block_size: int) -> Iterator[bytes]:
     if block_size <= 0:
         raise ValueError("block_size must be positive")
     for i in range(0, len(data), block_size):
-        yield data[i:i + block_size]
+        yield data[i : i + block_size]
 
 
 def constant_time_equal(x: bytes, y: bytes) -> bool:

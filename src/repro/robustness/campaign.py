@@ -180,14 +180,27 @@ def build_campaign_db(
     config: EncryptionConfig,
     rows: int,
     master_key: bytes = _CAMPAIGN_MASTER_KEY,
+    batched: bool = False,
 ) -> EncryptedDatabase:
-    """A small fully-sensitive database with both index structures."""
+    """A small fully-sensitive database with both index structures.
+
+    ``batched=True`` loads the rows through ``insert_many`` (the batched
+    crypto hot path) instead of the per-row loop; both paths must
+    produce byte-identical images — ``backendparity`` checks exactly
+    that.
+    """
     db = EncryptedDatabase(master_key, config)
     db.create_table(_SCHEMA)
+    values = []
     for i in range(rows):
         filler = "".join(chr(ord("a") + (i * 7 + j) % 26) for j in range(_PAYLOAD_WIDTH - 10))
         note = "".join(chr(ord("A") + (i * 11 + j) % 26) for j in range(_NOTE_WIDTH))
-        db.insert("records", [i, f"rec-{i:03d}-{filler}", note])
+        values.append([i, f"rec-{i:03d}-{filler}", note])
+    if batched:
+        db.insert_many("records", values)
+    else:
+        for row in values:
+            db.insert("records", row)
     db.create_index("records_by_payload", "records", "payload", kind="table")
     db.create_index("records_by_id", "records", "id", kind="btree")
     return db

@@ -102,16 +102,28 @@ def _reencrypt_cells(clone: Database, old_codec, new_codec) -> Iterator[tuple[st
             for position, column in enumerate(table.schema.columns)
             if column.sensitive
         ]
-        count = 0
+        # Collect the whole table, then fold through the batch codec APIs:
+        # one decode_cells/encode_cells pair per table amortizes key
+        # schedules and mode precomputation across every cell.  Scan
+        # order × sensitive-column order matches the sequential loop, so
+        # nonce/IV draws (and therefore bytes) are identical.
+        targets: list[tuple[int, int]] = []
+        stored: list[tuple[bytes, object]] = []
         for row_id, stored_cells in table.scan():
             for position in sensitive:
                 address = table.address(row_id, position)
-                plaintext = old_codec.decode_cell(stored_cells[position], address)
-                table.set_cell(
-                    row_id, position, new_codec.encode_cell(plaintext, address)
-                )
-                count += 1
-        yield table_name, count
+                targets.append((row_id, position))
+                stored.append((stored_cells[position], address))
+        plaintexts = old_codec.decode_cells(stored)
+        fresh = new_codec.encode_cells(
+            [
+                (plaintext, address)
+                for plaintext, (_, address) in zip(plaintexts, stored)
+            ]
+        )
+        for (row_id, position), encoded in zip(targets, fresh):
+            table.set_cell(row_id, position, encoded)
+        yield table_name, len(targets)
 
 
 def _reencrypt_index(clone: Database, index_name: str, old_enc) -> int:

@@ -1,0 +1,52 @@
+"""Backend parity against the pinned golden image hashes.
+
+The optimized T-table backend is a pure implementation swap: every
+campaign configuration must reproduce the *same* pre-observability
+golden SHA-256 image hashes the reference backend is pinned to, via
+either selection mechanism (config field or environment variable), and
+with batched inserts too.  A single divergent byte fails here.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.engine.storage import dump_database
+from repro.primitives.backends import BACKEND_ENV_VAR, set_default_backend
+from repro.robustness.campaign import build_campaign_db, default_campaign_configs
+from tests.observability.test_regression import GOLDEN_IMAGE_SHA256
+
+CAMPAIGN = default_campaign_configs()
+IDS = [label for label, _ in CAMPAIGN]
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+def _digest(config, batched=False) -> str:
+    image = dump_database(build_campaign_db(config, 8, batched=batched))
+    return hashlib.sha256(image).hexdigest()
+
+
+@pytest.mark.parametrize("label, config", CAMPAIGN, ids=IDS)
+def test_optimized_backend_matches_golden_images(label, config):
+    assert _digest(config.with_(backend="optimized")) == GOLDEN_IMAGE_SHA256[label]
+
+
+@pytest.mark.parametrize("label, config", CAMPAIGN, ids=IDS)
+def test_env_selected_backend_matches_golden_images(label, config, monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "optimized")
+    assert _digest(config) == GOLDEN_IMAGE_SHA256[label]
+
+
+@pytest.mark.parametrize("label, config", CAMPAIGN, ids=IDS)
+def test_batched_inserts_match_golden_images(label, config):
+    assert (
+        _digest(config.with_(backend="optimized"), batched=True)
+        == GOLDEN_IMAGE_SHA256[label]
+    )

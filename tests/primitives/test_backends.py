@@ -1,0 +1,208 @@
+"""The pluggable block-cipher backend registry and the optimized AES.
+
+Every backend is a different *implementation* of the same ciphers, so
+the whole contract is byte equality: FIPS 197 vectors, random parity
+against the reference, batch == loop, and exactly one key-schedule
+expansion per distinct key regardless of how many cipher objects share
+it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyLengthError
+from repro.primitives.aes import (
+    AES,
+    clear_key_schedule_cache,
+    key_schedule_expansions,
+)
+from repro.primitives.aes_fast import FastAES
+from repro.primitives.backends import (
+    BACKEND_ENV_VAR,
+    OptimizedBackend,
+    PureBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    make_cipher,
+    normalize_algorithm,
+    register_backend,
+    set_default_backend,
+)
+from repro.primitives.blockcipher import CountingCipher
+from repro.primitives.des import DES, TripleDES
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_VECTORS = [
+    (bytes(range(16)), "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (bytes(range(24)), "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (bytes(range(32)), "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+# -- the optimized AES is AES -------------------------------------------------
+
+
+@pytest.mark.parametrize("key,expected", FIPS_VECTORS)
+def test_fast_aes_fips197_vectors(key, expected):
+    assert FastAES(key).encrypt_block(PLAINTEXT).hex() == expected
+    assert FastAES(key).decrypt_block(bytes.fromhex(expected)) == PLAINTEXT
+
+
+@given(
+    st.sampled_from([16, 24, 32]).flatmap(
+        lambda n: st.tuples(
+            st.binary(min_size=n, max_size=n),
+            st.lists(st.binary(min_size=16, max_size=16), max_size=8),
+        )
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_fast_aes_matches_reference(key_and_blocks):
+    key, blocks = key_and_blocks
+    reference, fast = AES(key), FastAES(key)
+    expected = [reference.encrypt_block(block) for block in blocks]
+    assert [fast.encrypt_block(block) for block in blocks] == expected
+    assert fast.encrypt_blocks(blocks) == expected
+    assert fast.decrypt_blocks(expected) == blocks
+    assert [fast.decrypt_block(block) for block in expected] == blocks
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 17, 31, 33])
+def test_fast_aes_rejects_bad_key_lengths(length):
+    with pytest.raises(KeyLengthError):
+        FastAES(bytes(length))
+
+
+def test_fast_aes_reports_reference_name():
+    # Metric counter names embed cipher.name; both backends must land
+    # their invocations under the same keys or cross-backend bench
+    # deltas would silently compare disjoint counters.
+    assert FastAES(bytes(16)).name == AES(bytes(16)).name == "aes-128"
+    assert FastAES(bytes(32)).name == AES(bytes(32)).name == "aes-256"
+
+
+# -- key-schedule caching -----------------------------------------------------
+
+
+def test_one_expansion_per_key_across_instances():
+    clear_key_schedule_cache()
+    key = bytes(range(16))
+    before = key_schedule_expansions()
+    AES(key), AES(key), FastAES(key), FastAES(key)
+    assert key_schedule_expansions() - before == 1
+
+
+def test_distinct_keys_expand_separately():
+    clear_key_schedule_cache()
+    before = key_schedule_expansions()
+    AES(bytes(16))
+    AES(bytes(15) + b"\x01")
+    FastAES(bytes(16))  # shares the first key's cached schedule
+    assert key_schedule_expansions() - before == 2
+
+
+# -- batch API ----------------------------------------------------------------
+
+
+def test_default_batch_equals_loop():
+    cipher = DES(bytes(8))
+    blocks = [bytes([i] * 8) for i in range(10)]
+    assert cipher.encrypt_blocks(blocks) == [
+        cipher.encrypt_block(block) for block in blocks
+    ]
+    assert cipher.encrypt_blocks([]) == []
+
+
+def test_counting_cipher_charges_batches_per_block():
+    counter = CountingCipher(AES(bytes(16)))
+    counter.encrypt_blocks([bytes(16)] * 7)
+    counter.decrypt_blocks([bytes(16)] * 3)
+    assert counter.encrypt_calls == 7
+    assert counter.decrypt_calls == 3
+
+
+def test_triple_des_batch_equals_loop():
+    cipher = TripleDES(bytes(range(24)))
+    blocks = [bytes([i] * 8) for i in range(6)]
+    assert cipher.encrypt_blocks(blocks) == [
+        cipher.encrypt_block(block) for block in blocks
+    ]
+    assert cipher.decrypt_blocks(cipher.encrypt_blocks(blocks)) == blocks
+
+
+# -- registry and selection ---------------------------------------------------
+
+
+def test_registry_lists_both_builtin_backends():
+    assert "pure" in available_backends()
+    assert "optimized" in available_backends()
+
+
+def test_normalize_algorithm():
+    assert normalize_algorithm("AES-256") == "aes"
+    assert normalize_algorithm("des3") == "3des"
+    with pytest.raises(ValueError):
+        normalize_algorithm("rot13")
+
+
+@pytest.mark.parametrize("algorithm,key_size", [("aes", 16), ("des", 8), ("3des", 24)])
+def test_backends_agree_on_every_algorithm(algorithm, key_size):
+    key = bytes(range(key_size))
+    pure = get_backend("pure").create(algorithm, key)
+    optimized = get_backend("optimized").create(algorithm, key)
+    block = bytes(pure.block_size)
+    assert pure.encrypt_block(block) == optimized.encrypt_block(block)
+    assert pure.name == optimized.name
+
+
+def test_make_cipher_picks_classes_per_backend():
+    key = bytes(16)
+    assert isinstance(make_cipher("aes", key, backend="pure"), AES)
+    assert isinstance(make_cipher("aes", key, backend="optimized"), FastAES)
+
+
+def test_default_is_pure():
+    assert default_backend_name() == "pure"
+    assert isinstance(make_cipher("aes", bytes(16)), AES)
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "optimized")
+    assert default_backend_name() == "optimized"
+    assert isinstance(make_cipher("aes", bytes(16)), FastAES)
+
+
+def test_override_beats_env(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "pure")
+    set_default_backend("optimized")
+    assert default_backend_name() == "optimized"
+
+
+def test_explicit_argument_beats_everything(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "optimized")
+    set_default_backend("optimized")
+    assert isinstance(make_cipher("aes", bytes(16), backend="pure"), AES)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        get_backend("turbo")
+    with pytest.raises(ValueError):
+        set_default_backend("turbo")
+
+
+def test_register_backend_requires_replace_for_duplicates():
+    with pytest.raises(ValueError):
+        register_backend(PureBackend())
+    register_backend(OptimizedBackend(), replace=True)  # idempotent refresh

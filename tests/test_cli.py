@@ -98,6 +98,39 @@ def test_bench_quick_single_scenario(tmp_path, capsys):
     assert validate_report(json.loads(out.read_text())) == []
 
 
+def test_bench_quick_batch_insert_scenario(capsys, tmp_path):
+    out = tmp_path / "BENCH_batch.json"
+    assert main(["bench", "--quick", "--scenarios", "batch_insert",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "bench (quick profile): OK" in captured.out
+    assert out.exists()
+
+
+def test_backendparity(tmp_path, capsys):
+    out = tmp_path / "parity.json"
+    assert main(["backendparity", "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "cross-backend image parity" in captured.out
+    assert "DIVERGED" not in captured.out
+
+    import json
+
+    document = json.loads(out.read_text())
+    assert document["ok"] is True
+    assert set(document["backends"]) >= {"pure", "optimized"}
+    assert all(row["ok"] for row in document["primitives"])
+    assert all(row["ok"] for row in document["images"])
+    for row in document["images"]:
+        assert len(set(row["hashes"].values())) == 1
+        assert row["batched"] == row["hashes"][document["reference"]]
+
+
+def test_backendparity_rejects_unknown_flag(capsys):
+    assert main(["backendparity", "--bogus"]) == 2
+    assert "unknown backendparity argument" in capsys.readouterr().err
+
+
 def test_bench_rejects_unknown_scenario(capsys):
     assert main(["bench", "--quick", "--scenarios", "nope"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
