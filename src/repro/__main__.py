@@ -12,10 +12,11 @@ Commands:
   (default 25) across every scheme configuration and print the
   detection matrix; exits non-zero if the matrix contradicts the
   paper's claims or the resilient loader ever raises.
-* ``bench [--quick] [--scenarios a,b,...] [--out PATH]`` — run the
-  benchmark harness over every scheme configuration, write a
+* ``bench [--quick] [--scenarios a,b,...] [--out PATH] [--force]`` —
+  run the benchmark harness over every scheme configuration, write a
   ``BENCH_<n>.json`` artifact (auto-numbered unless ``--out`` names a
-  path), and exit non-zero if any measured count diverges from the
+  path; an existing file is never overwritten unless ``--force``), and
+  exit non-zero if any measured count diverges from the
   paper's Sect. 4 cost model.  With ``--baseline BENCH_<n>.json``
   additionally compare per-scenario wall time and cipher counts
   against that report (``--threshold F`` sets the fractional wall-time
@@ -74,11 +75,26 @@ Commands:
   each query's per-operator profile (wall time, bytes, measured vs
   Sect.-4-predicted blockcipher invocations); exits non-zero if any
   per-query measured count diverges from the analytic model.
+* ``monitor [--scenario NAME] [--configs slug,...] [--quick]
+  [--out HEALTH.json] [--baseline BENCH_<n>.json] [--rules FILE.json]
+  [--prom PATH] [--jsonl PATH] [--follow] [--inject FAULT]
+  [--limit N]`` — run a bench scenario (default ``shard_rotation``,
+  default config ``aead-eax``) or the ``rotation_campaign`` sweep
+  under the telemetry hub, evaluate the health-rule set (Sect. 4
+  drift, WAL replay/fallback, shard degradation, leakage budgets, and
+  — with ``--baseline`` — p99 regression; ``--rules`` adds declarative
+  rules from JSON) against the labeled time-series, and write a
+  schema-validated ``HEALTH.json``.  ``--follow`` prints a live
+  per-tick dashboard; ``--prom``/``--jsonl`` export the labeled
+  series; ``--inject cipher-miscount`` / ``--inject wal-fallback``
+  simulate faults to prove the rules fire.  Exits 1 when any alert
+  fires, 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 from repro.analysis.collision import run_collision_experiment
 from repro.analysis.overhead import (
@@ -517,6 +533,7 @@ def _bench(argv: list[str]) -> int:
     )
 
     quick = False
+    force = False
     scenario_names: list[str] | None = None
     out: str | None = None
     baseline_path: str | None = None
@@ -527,6 +544,8 @@ def _bench(argv: list[str]) -> int:
         arg = args.pop(0)
         if arg == "--quick":
             quick = True
+        elif arg == "--force":
+            force = True
         elif arg == "--scenarios" or arg.startswith("--scenarios="):
             value = _flag_value(arg, args, "--scenarios")
             scenario_names = [s for s in value.split(",") if s]
@@ -557,7 +576,12 @@ def _bench(argv: list[str]) -> int:
     except ValueError as exc:
         raise UsageError(str(exc)) from None
 
-    path = write_report(report, out if out is not None else next_bench_path())
+    try:
+        path = write_report(
+            report, out if out is not None else next_bench_path(), overwrite=force
+        )
+    except FileExistsError as exc:
+        raise UsageError(str(exc)) from None
     print(summarize(report))
     print(f"report written to {path}")
     failed = False
@@ -972,6 +996,161 @@ def _explain(argv: list[str]) -> int:
     return 0
 
 
+def _monitor(argv: list[str]) -> int:
+    from repro.bench import load_report
+    from repro.observability.export import (
+        render_prometheus_samples,
+        render_series_jsonl,
+    )
+    from repro.observability.health import load_rules
+    from repro.observability.monitor import (
+        INJECTIONS,
+        monitor_scenarios,
+        run_monitor,
+        validate_health_report,
+        write_health,
+    )
+
+    scenario = "shard_rotation"
+    config_slugs: list[str] | None = ["aead-eax"]
+    quick = False
+    follow = False
+    out: str | None = None
+    baseline_path: str | None = None
+    rules_path: str | None = None
+    prom_path: str | None = None
+    jsonl_path: str | None = None
+    inject: list[str] = []
+    limit: int | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--scenario" or arg.startswith("--scenario="):
+            scenario = _flag_value(arg, args, "--scenario")
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg == "--quick":
+            quick = True
+        elif arg == "--follow":
+            follow = True
+        elif arg == "--out" or arg.startswith("--out="):
+            out = _flag_value(arg, args, "--out")
+        elif arg == "--baseline" or arg.startswith("--baseline="):
+            baseline_path = _flag_value(arg, args, "--baseline")
+        elif arg == "--rules" or arg.startswith("--rules="):
+            rules_path = _flag_value(arg, args, "--rules")
+        elif arg == "--prom" or arg.startswith("--prom="):
+            prom_path = _flag_value(arg, args, "--prom")
+        elif arg == "--jsonl" or arg.startswith("--jsonl="):
+            jsonl_path = _flag_value(arg, args, "--jsonl")
+        elif arg == "--inject" or arg.startswith("--inject="):
+            fault = _flag_value(arg, args, "--inject")
+            if fault not in INJECTIONS:
+                raise UsageError(
+                    f"unknown injection {fault!r}; "
+                    f"available: {', '.join(INJECTIONS)}"
+                )
+            inject.append(fault)
+        elif arg == "--limit" or arg.startswith("--limit="):
+            limit = _parse_int(_flag_value(arg, args, "--limit"), "--limit")
+        else:
+            raise UsageError(f"unknown monitor argument {arg!r}")
+    if scenario not in monitor_scenarios():
+        raise UsageError(
+            f"unknown scenario {scenario!r}; "
+            f"available: {', '.join(monitor_scenarios())}"
+        )
+    configs = _resolve_explain_configs(config_slugs)
+
+    baseline = None
+    if baseline_path is not None:
+        try:
+            baseline = load_report(baseline_path)
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
+    extra_rules = None
+    if rules_path is not None:
+        import json as _json
+
+        try:
+            specs = _json.loads(Path(rules_path).read_text())
+            if not isinstance(specs, list):
+                raise ValueError("a rules file holds a JSON array of rule objects")
+            extra_rules = load_rules(specs)
+        except (OSError, ValueError) as exc:
+            raise UsageError(f"cannot load rules from {rules_path}: {exc}") from None
+
+    def dashboard(tick, hub):
+        # Pull-sampled series land on this tick; pushed gauges landed
+        # between the previous tick and this one — show both.
+        fresh = [
+            (series.name, series.labels, sample[1])
+            for series in hub.all_series(include_volatile=True)
+            for sample in [series.last()]
+            if sample is not None and sample[0] + 1 >= tick
+        ]
+        print(f"tick {tick:>5}  ({len(fresh)} series updated)")
+        for name, labels, value in fresh:
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            print(f"    {name}{{{rendered}}} = {value:g}")
+
+    doc = run_monitor(
+        scenario=scenario,
+        config_items=configs,
+        quick=quick,
+        baseline=baseline,
+        extra_rules=extra_rules,
+        inject=inject,
+        limit=limit,
+        follow=dashboard if follow else None,
+    )
+    problems = validate_health_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+
+    if out is not None:
+        path = write_health(doc, out)
+        print(f"health report written to {path}")
+    if prom_path is not None:
+        samples = [
+            (entry["name"], entry["labels"], entry["samples"][-1][1])
+            for entry in doc["series"]
+            if entry["samples"]
+        ]
+        Path(prom_path).write_text(render_prometheus_samples(samples))
+        print(f"prometheus samples written to {prom_path}")
+    if jsonl_path is not None:
+        Path(jsonl_path).write_text(render_series_jsonl(doc["series"]))
+        print(f"series JSONL written to {jsonl_path}")
+
+    for entry in doc["configs"]:
+        if entry.get("skipped"):
+            print(f"skipped {entry['config']}: {entry['skipped']}")
+            continue
+        print(
+            f"{entry['config']}: ops={entry['ops']} "
+            f"sect4_drift={entry['sect4_drift']} "
+            f"leak_events={entry['leak_events']}"
+        )
+    print(
+        f"monitored {scenario}: {doc['ticks']} tick(s), "
+        f"{len(doc['series'])} series, {len(doc['rules'])} rule(s)"
+    )
+    if doc["alerts"]:
+        print()
+        for alert in doc["alerts"]:
+            print(
+                f"ALERT [{alert['severity']}] {alert['rule']}: {alert['message']}",
+                file=sys.stderr,
+            )
+        return 1
+    print("health: OK (no alerts fired)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -1003,6 +1182,8 @@ def main(argv: list[str] | None = None) -> int:
             return _trace(rest)
         if command == "explain":
             return _explain(rest)
+        if command == "monitor":
+            return _monitor(rest)
     except UsageError as exc:
         print(f"error: {exc}\n", file=sys.stderr)
         print(__doc__)

@@ -136,6 +136,9 @@ def run_bench(
     results: list[ScenarioResult] = []
     was_enabled = observability.enabled()
     observability.enable()  # before any database is constructed
+    # Pin every histogram reservoir to the run's seed, so two identical
+    # runs report identical p50/p95/p99 regardless of process history.
+    observability.REGISTRY.seed_reservoirs(_MASTER_KEY.hex())
     try:
         configs = default_campaign_configs()
         typed_reads_ok = {

@@ -73,8 +73,20 @@ def build_report(
     }
 
 
-def write_report(report: dict, path: str | Path) -> Path:
+def write_report(report: dict, path: str | Path, overwrite: bool = False) -> Path:
+    """Write the report; refuses to clobber an existing file.
+
+    Recorded trajectories (``BENCH_<n>.json``) are append-only history —
+    silently overwriting one erases the baseline later runs are compared
+    against.  Pass ``overwrite=True`` (CLI: ``--force``) for scratch
+    paths that are meant to be replaced.
+    """
     path = Path(path)
+    if path.exists() and not overwrite:
+        raise FileExistsError(
+            f"{path} already exists; refusing to overwrite a recorded "
+            f"benchmark (use --force, or let the output auto-number)"
+        )
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
 

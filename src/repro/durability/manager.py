@@ -58,6 +58,7 @@ from repro.engine.storage import (
 from repro.errors import SchemaError, StorageFormatError
 from repro.mac.base import MAC
 from repro.observability.audit import AUDIT
+from repro.observability.timeseries import HUB
 from repro.observability.trace import TRACER as _TRACER
 from repro.robustness.recovery import RecoveryReport, load_database_resilient
 
@@ -521,6 +522,14 @@ class DurableDatabase:
             skipped=report.records_skipped,
             rebuilt=report.indexes_rebuilt,
         )
+        if HUB.enabled:
+            # Time-series view of the same facts: how often mounts
+            # replay, and whether any mount needed the salvage fallback.
+            if report.records_replayed:
+                HUB.event("wal.replay.records", report.records_replayed)
+                HUB.event("wal.replay.mounts", 1)
+            if report.resilient is not None or report.degraded:
+                HUB.event("wal.fallback.events", 1)
 
         manager = cls(
             disk, db, journal, mac,

@@ -140,6 +140,22 @@ class Database:
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
+    def telemetry_sample(self) -> list[tuple[str, dict, float]]:
+        """Deterministic gauges for the telemetry hub's pull samplers:
+        per-table row counts and the quarantined-index count.  Logical
+        state only — never wall time — so seeded runs sample
+        identically."""
+        samples: list[tuple[str, dict, float]] = [
+            ("db.rows", {"table": name}, float(len(self._tables[name].row_ids)))
+            for name in self.table_names
+        ]
+        if self._indexes:
+            quarantined = sum(
+                1 for info in self._indexes.values() if info.quarantined
+            )
+            samples.append(("db.indexes.quarantined", {}, float(quarantined)))
+        return samples
+
     @timed("db.create_index")
     def create_index(
         self, name: str, table_name: str, column_name: str, kind: str = "table",

@@ -28,7 +28,22 @@ from repro.observability.audit import (
 from repro.observability.export import (
     render_jsonl,
     render_prometheus,
+    render_prometheus_samples,
+    render_series_jsonl,
     write_snapshot,
+)
+from repro.observability.health import (
+    Alert,
+    BaselineP99Rule,
+    DeltaRule,
+    HealthEngine,
+    LeakBudgetRule,
+    Rule,
+    SloBurnRule,
+    ThresholdRule,
+    default_rules,
+    load_rules,
+    parse_rule,
 )
 from repro.observability.instrument import (
     InstrumentedAEAD,
@@ -47,6 +62,11 @@ from repro.observability.metrics import (
     Timer,
 )
 from repro.observability.leakmon import PROBES, LeakMonitor, run_live_profile
+from repro.observability.monitor import (
+    run_monitor,
+    validate_health_report,
+    write_health,
+)
 from repro.observability.profile import (
     OperatorStats,
     QueryProfile,
@@ -54,6 +74,12 @@ from repro.observability.profile import (
     format_profile,
 )
 from repro.observability.runmeta import git_describe, run_metadata
+from repro.observability.timeseries import (
+    HUB,
+    Series,
+    TelemetryHub,
+    scheme_label,
+)
 from repro.observability.trace import TRACER, Span, TraceContext, Tracer
 from repro.observability.traceexport import (
     chrome_trace_document,
@@ -85,13 +111,19 @@ def reset() -> None:
 
 __all__ = [
     "AUDIT",
+    "HUB",
     "PROBES",
     "REGISTRY",
     "TRACER",
+    "Alert",
     "AuditError",
     "AuditLog",
+    "BaselineP99Rule",
     "Counter",
+    "DeltaRule",
+    "HealthEngine",
     "Histogram",
+    "LeakBudgetRule",
     "InstrumentedAEAD",
     "InstrumentedCipher",
     "InstrumentedMAC",
@@ -99,34 +131,48 @@ __all__ = [
     "MetricsRegistry",
     "OperatorStats",
     "QueryProfile",
+    "Rule",
+    "Series",
+    "SloBurnRule",
     "Span",
+    "TelemetryHub",
+    "ThresholdRule",
     "Timer",
     "TraceContext",
     "Tracer",
     "build_query_profiles",
     "canonical_lines",
     "chrome_trace_document",
+    "default_rules",
     "disable",
     "enable",
     "enabled",
     "format_profile",
     "git_describe",
+    "load_rules",
     "maybe_audit_cell_codec",
     "maybe_audit_index_codec",
     "maybe_audit_mac",
     "maybe_instrument_aead",
     "maybe_instrument_cipher",
     "maybe_instrument_mac",
+    "parse_rule",
     "read_events",
     "render_chrome_trace",
     "render_jsonl",
     "render_prometheus",
+    "render_prometheus_samples",
+    "render_series_jsonl",
     "reset",
     "run_live_profile",
     "run_metadata",
+    "run_monitor",
+    "scheme_label",
     "timed",
     "validate_chrome_trace",
+    "validate_health_report",
     "write_chrome_trace",
     "write_events",
+    "write_health",
     "write_snapshot",
 ]

@@ -97,6 +97,59 @@ def render_prometheus(snapshot: dict, labels: dict[str, str] | None = None) -> s
     return "".join(line + "\n" for line in lines)
 
 
+def render_prometheus_samples(
+    samples,
+    type_hint: str = "gauge",
+    base_labels: dict[str, str] | None = None,
+) -> str:
+    """Labeled samples in the Prometheus text exposition format.
+
+    ``samples`` is an iterable of ``(name, labels, value)`` triples — the
+    shape :meth:`TelemetryHub.latest` produces — so *every sample carries
+    its own label set* (``shard``, ``scheme``, ``rotation_phase``, …),
+    rendered as ``metric{label="v"}`` with sorted keys and the PR 5
+    escaping, on top of optional ``base_labels`` shared by all samples.
+    One ``# TYPE`` line is emitted per metric family, not per sample.
+    """
+    base = dict(base_labels or {})
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, value in samples:
+        prom = prometheus_name(name)
+        if prom not in typed:
+            lines.append(f"# TYPE {prom} {type_hint}")
+            typed.add(prom)
+        merged = dict(base)
+        merged.update(labels or {})
+        lines.append(f"{prom}{_render_labels(merged)} {value}")
+    return "".join(line + "\n" for line in lines)
+
+
+def series_lines_jsonl(series_list) -> list[str]:
+    """One JSON object per time-series, full sample history included.
+
+    ``series_list`` is the ``series`` array of a
+    :meth:`TelemetryHub.snapshot` (each entry already JSON-ready).
+    """
+    return [
+        json.dumps(
+            {
+                "metric": entry["name"],
+                "type": "timeseries",
+                "labels": entry.get("labels", {}),
+                "samples": entry.get("samples", []),
+                "dropped": entry.get("dropped", 0),
+            },
+            sort_keys=True,
+        )
+        for entry in series_list
+    ]
+
+
+def render_series_jsonl(series_list) -> str:
+    return "".join(line + "\n" for line in series_lines_jsonl(series_list))
+
+
 def write_snapshot(
     snapshot: dict,
     jsonl_path: str | Path | None = None,

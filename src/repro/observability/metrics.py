@@ -21,8 +21,27 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
+
+#: Initial LCG state of every histogram reservoir.  Runs that want
+#: quantiles tied to their workload identity reseed via
+#: :meth:`MetricsRegistry.seed_reservoirs`.
+DEFAULT_RESERVOIR_SEED = 0x9E3779B97F4A7C15
+
+
+def reservoir_state(token: str | int) -> int:
+    """A non-zero 64-bit LCG state derived from run metadata.
+
+    Hashing keeps unrelated tokens (seeds, config names) from colliding
+    into correlated sample streams; the ``or`` guard avoids the LCG's
+    one weak state.
+    """
+    if isinstance(token, int):
+        token = str(token)
+    digest = hashlib.sha256(b"repro-reservoir/" + token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") or DEFAULT_RESERVOIR_SEED
 
 
 class Counter:
@@ -78,9 +97,15 @@ class Histogram:
         "max",
         "_samples",
         "_rng_state",
+        "_seed_state",
     )
 
-    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        seed_state: int = DEFAULT_RESERVOIR_SEED,
+    ) -> None:
         self.name = name
         self._registry = registry
         self._lock = threading.Lock()
@@ -89,7 +114,17 @@ class Histogram:
         self.min: float | None = None
         self.max: float | None = None
         self._samples: list[float] = []
-        self._rng_state = 0x9E3779B97F4A7C15
+        self._seed_state = seed_state
+        self._rng_state = seed_state
+
+    def seed(self, state: int) -> None:
+        """Pin the reservoir's RNG to ``state`` (and make :meth:`reset`
+        return to it), so two same-seed runs retain identical samples —
+        and therefore report identical p50/p95/p99 — no matter what ran
+        in the process before them."""
+        with self._lock:
+            self._seed_state = state
+            self._rng_state = state
 
     def observe(self, value: float) -> None:
         """Record one sample; a no-op while the registry is disabled."""
@@ -132,6 +167,11 @@ class Histogram:
             self.min = None
             self.max = None
             self._samples = []
+            # Back to the seed state: without this, the reservoir's
+            # replacement choices — and so the reported percentiles —
+            # would depend on whatever the process observed before the
+            # reset, breaking same-seed reproducibility across scenarios.
+            self._rng_state = self._seed_state
 
     def summary(self) -> dict:
         return {
@@ -181,6 +221,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._reservoir_seed = DEFAULT_RESERVOIR_SEED
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -198,6 +239,17 @@ class MetricsRegistry:
             for histogram in self._histograms.values():
                 histogram.reset()
 
+    def seed_reservoirs(self, token: str | int) -> None:
+        """Seed every histogram reservoir — current and future — from
+        run metadata (a workload seed, a report id) so reported
+        quantiles are reproducible across identical runs."""
+        state = reservoir_state(token)
+        with self._lock:
+            self._reservoir_seed = state
+            histograms = list(self._histograms.values())
+        for histogram in histograms:
+            histogram.seed(state)
+
     # -- metric access ------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
@@ -212,7 +264,9 @@ class MetricsRegistry:
             return self._histograms[name]
         except KeyError:
             with self._lock:
-                return self._histograms.setdefault(name, Histogram(name, self))
+                return self._histograms.setdefault(
+                    name, Histogram(name, self, seed_state=self._reservoir_seed)
+                )
 
     def timer(self, name: str) -> Timer:
         """A fresh context manager timing into ``histogram(name)``."""

@@ -43,6 +43,7 @@ from repro.engine.integrity import verify_database
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.storage import dump_database, load_database
 from repro.errors import CryptoError, ReproError, StorageFormatError
+from repro.observability.timeseries import HUB
 from repro.robustness.faults import FaultSpec, map_image, plan_fault
 from repro.robustness.recovery import load_database_resilient
 
@@ -340,4 +341,18 @@ def run_campaign(
                 record.resilient_error = f"{type(exc).__name__}: {exc}"
             result.records.append(record)
         result.outcomes[label] = counter
+        if HUB.enabled:
+            HUB.tick()
+            labels = {"config": label}
+            sweep = [r for r in result.records if r.config == label]
+            HUB.record(
+                "recovery.rows_quarantined",
+                sum(r.rows_quarantined for r in sweep),
+                labels=labels,
+            )
+            HUB.record(
+                "recovery.rows_recovered",
+                sum(r.rows_recovered for r in sweep),
+                labels=labels,
+            )
     return result

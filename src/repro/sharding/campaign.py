@@ -47,6 +47,7 @@ from repro.core.keys import KeyChain
 from repro.engine.storage import dump_database
 from repro.errors import PowerCutError
 from repro.observability.audit import AUDIT
+from repro.observability.timeseries import HUB
 from repro.robustness.campaign import default_campaign_configs
 
 from repro.durability.crashcampaign import (
@@ -361,4 +362,25 @@ def run_rotation_campaign(
         result = _sweep_rotation(label, config, rows, shard_count, limit, modes)
         _audit_neutrality_check(label, config, rows, shard_count, result)
         campaign.per_config.append(result)
+        if HUB.enabled:
+            labels = {"config": label}
+            HUB.tick()
+            HUB.record("rotation.campaign.trials", result.trials, labels=labels)
+            HUB.record(
+                "rotation.campaign.recovered_pre", result.recovered_pre, labels=labels
+            )
+            HUB.record(
+                "rotation.campaign.recovered_post",
+                result.recovered_post,
+                labels=labels,
+            )
+            HUB.record("rotation.campaign.rollbacks", result.rollbacks, labels=labels)
+            HUB.record(
+                "rotation.campaign.rollforwards", result.rollforwards, labels=labels
+            )
+            HUB.record(
+                "rotation.campaign.violations",
+                len(result.violations),
+                labels=labels,
+            )
     return campaign

@@ -37,6 +37,7 @@ from repro.core.keys import KeyChain
 from repro.engine.schema import TableSchema
 from repro.errors import DiskError, SchemaError
 from repro.observability.audit import AUDIT
+from repro.observability.timeseries import HUB, scheme_label
 
 from repro.durability.vdisk import PrefixDisk, VirtualDisk
 from repro.sharding.manifest import (
@@ -64,6 +65,23 @@ def shard_id_for(index: int) -> str:
 
 def shard_prefix_for(index: int) -> str:
     return f"s{index}."
+
+
+def _shard_source(shard: "Shard"):
+    """A telemetry pull-sampler for one mounted shard.
+
+    Samples only logical state (degraded flag, epoch, per-table row
+    counts) — everything here is deterministic under seeded workloads.
+    The closure tracks the live shard through ``adopt`` swaps, so the
+    same source stays valid across a rotation install.
+    """
+
+    def sample():
+        yield ("shard.degraded", {}, float(shard.degraded))
+        yield ("shard.epoch", {}, float(shard.epoch))
+        yield from shard.manager.database.telemetry_sample()
+
+    return sample
 
 
 @dataclass
@@ -193,6 +211,17 @@ class ShardedKeyspace:
                 for issue in shard.manager.recovery.issues
             )
         keyspace._reconcile_manifest(record.manifest if record.ok else None)
+        if HUB.enabled:
+            scheme = scheme_label(config)
+            for shard in shards:
+                labels = {"shard": shard.shard_id, "scheme": scheme}
+                HUB.record("shard.degraded", float(shard.degraded), labels=labels)
+                # Keyed per shard id: a campaign's re-mounts replace the
+                # previous mount's sampler instead of accumulating one
+                # dead source per trial.
+                HUB.add_source(
+                    _shard_source(shard), labels=labels, key=("shard", shard.shard_id)
+                )
         return keyspace
 
     @staticmethod
@@ -408,6 +437,13 @@ class ShardedKeyspace:
             rotation = ShardRotation(shard, self.chain, shard.epoch + 1)
             outcomes.append(rotation.run(on_phase))
             self._write_manifest()
+            if HUB.enabled:
+                HUB.event(
+                    "rotation.manifest.writes",
+                    1,
+                    labels={"shard": shard.shard_id},
+                )
+                HUB.tick()
             if on_phase is not None:
                 on_phase(shard.shard_id, "manifest")
         AUDIT.emit(

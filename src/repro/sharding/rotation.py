@@ -47,6 +47,7 @@ from repro.engine.storage import (
 )
 from repro.errors import StorageFormatError
 from repro.observability.audit import AUDIT
+from repro.observability.timeseries import HUB
 
 from repro.durability.manager import (
     OP_ROTATE_BEGIN,
@@ -182,6 +183,24 @@ class ShardRotation:
 
     def run(self, on_phase=None) -> ShardRotationOutcome:
         for phase in self.steps():
+            if HUB.enabled:
+                # One logical tick per synced write boundary: the hub's
+                # clock advances exactly where the crash campaign cuts
+                # power, so telemetry is deterministic under seeds.
+                HUB.event(
+                    "rotation.phase.steps",
+                    1,
+                    labels={
+                        "shard": self.shard.shard_id,
+                        "rotation_phase": phase.split()[0],
+                    },
+                )
+                HUB.record(
+                    "rotation.cells_reencrypted",
+                    self.cells,
+                    labels={"shard": self.shard.shard_id},
+                )
+                HUB.tick()
             if on_phase is not None:
                 on_phase(self.shard.shard_id, phase)
         return ShardRotationOutcome(

@@ -128,6 +128,17 @@ def test_write_report_and_next_bench_path(tmp_path, quick_report):
     assert validate_report(loaded) == []
 
 
+def test_write_report_never_silently_overwrites(tmp_path, quick_report):
+    path = tmp_path / "BENCH_1.json"
+    write_report(quick_report, path)
+    before = path.read_text()
+    with pytest.raises(FileExistsError, match="refusing to overwrite"):
+        write_report({"schema": "other"}, path)
+    assert path.read_text() == before  # recorded history untouched
+    write_report(quick_report, path, overwrite=True)
+    assert validate_report(json.loads(path.read_text())) == []
+
+
 def test_validate_report_flags_structural_problems():
     assert validate_report({"schema": "bogus"}) != []
     broken = {

@@ -181,3 +181,63 @@ def test_enable_disable_idempotent():
     registry.disable()
     registry.disable()
     assert not registry.enabled
+
+
+def test_reservoir_state_derivation_is_stable():
+    from repro.observability.metrics import DEFAULT_RESERVOIR_SEED, reservoir_state
+
+    assert reservoir_state("bench-master") == reservoir_state("bench-master")
+    assert reservoir_state("bench-master") != reservoir_state("other-run")
+    assert reservoir_state(42) == reservoir_state("42")
+    assert reservoir_state("anything") != DEFAULT_RESERVOIR_SEED
+
+
+def test_same_seed_runs_report_identical_quantiles():
+    """Past the reservoir bound, retention is RNG-driven; seeding from
+    run metadata must make two identical runs agree on every quantile."""
+    from repro.observability.metrics import Histogram, reservoir_state
+
+    def run() -> tuple:
+        registry = _enabled_registry()
+        registry.seed_reservoirs("run-token")
+        histogram = registry.histogram("h.seconds")
+        for i in range(Histogram.RESERVOIR_SIZE * 3):
+            histogram.observe((i * 7919 % 104729) / 1000.0)
+        return (
+            histogram.percentile(0.5),
+            histogram.percentile(0.95),
+            histogram.percentile(0.99),
+        )
+
+    assert run() == run()
+
+
+def test_reset_returns_reservoir_to_seed_state():
+    from repro.observability.metrics import Histogram
+
+    registry = _enabled_registry()
+    registry.seed_reservoirs("token")
+    histogram = registry.histogram("h")
+
+    def fill() -> tuple:
+        for i in range(Histogram.RESERVOIR_SIZE * 2):
+            histogram.observe(float(i % 997))
+        return (histogram.percentile(0.5), histogram.percentile(0.99))
+
+    first = fill()
+    registry.reset()
+    assert fill() == first
+
+
+def test_seed_reservoirs_applies_to_future_histograms():
+    from repro.observability.metrics import Histogram, reservoir_state
+
+    registry = _enabled_registry()
+    registry.seed_reservoirs("token")
+    pre = registry.histogram("pre")
+    post = registry.histogram("post")  # created after seeding
+    for i in range(Histogram.RESERVOIR_SIZE * 2):
+        pre.observe(float(i % 997))
+        post.observe(float(i % 997))
+    assert pre.percentile(0.99) == post.percentile(0.99)
+    assert pre._seed_state == post._seed_state == reservoir_state("token")

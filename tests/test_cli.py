@@ -1,5 +1,6 @@
 """The ``python -m repro`` command-line driver."""
 
+import json
 
 from repro.__main__ import main
 
@@ -422,3 +423,55 @@ def test_audit_live_then_replay_round_trip(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "streaming leakage verdicts" in captured.out
     assert "# TYPE repro_leak_events counter" in prom.read_text()
+
+
+def test_bench_refuses_to_overwrite_without_force(tmp_path, capsys):
+    out = tmp_path / "BENCH_1.json"
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(out)]) == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert main(["bench", "--quick", "--scenarios", "bulk_insert",
+                 "--out", str(out), "--force"]) == 0
+
+
+def test_monitor_healthy_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "HEALTH.json"
+    prom = tmp_path / "series.prom"
+    jsonl = tmp_path / "series.jsonl"
+    assert main(["monitor", "--scenario", "shard_rotation", "--quick",
+                 "--out", str(out), "--prom", str(prom),
+                 "--jsonl", str(jsonl)]) == 0
+    captured = capsys.readouterr()
+    assert "health: OK (no alerts fired)" in captured.out
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-health/1"
+    assert doc["ok"] is True
+    assert 'shard="s0"' in prom.read_text()
+    assert jsonl.read_text().count("\n") == len(doc["series"])
+
+
+def test_monitor_injected_miscount_exits_nonzero(capsys):
+    assert main(["monitor", "--scenario", "shard_rotation", "--quick",
+                 "--inject", "cipher-miscount"]) == 1
+    captured = capsys.readouterr()
+    assert "ALERT [critical] sect4-drift" in captured.err
+
+
+def test_monitor_follow_prints_dashboard_ticks(capsys):
+    assert main(["monitor", "--scenario", "shard_rotation", "--quick",
+                 "--follow"]) == 0
+    out = capsys.readouterr().out
+    assert "tick " in out
+    assert "series updated" in out
+
+
+def test_monitor_rejects_unknown_scenario_and_injection(capsys):
+    assert main(["monitor", "--scenario", "teleport"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["monitor", "--inject", "gremlins"]) == 2
+    assert "unknown injection" in capsys.readouterr().err
+    assert main(["monitor", "--frobnicate"]) == 2
+    assert "unknown monitor argument" in capsys.readouterr().err
