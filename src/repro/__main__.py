@@ -40,6 +40,29 @@ Commands:
   protocol write boundary; shards must recover to exactly the old or
   new key epoch), or both (the default).  Exits non-zero on any
   violation.
+* ``chaoscampaign [--steps N] [--seed N] [--shards N] [--replicas N]
+  [--no-flaky] [--configs slug,...]`` — the unified resilience
+  campaign: per configuration, drive one sharded keyspace on an N-way
+  mirrored disk (each replica behind a flaky/retrying wrapper stack
+  unless ``--no-flaky``) through a seeded schedule interleaving
+  inserts, checkpoints, key rotations, whole-host crashes with
+  remount, single-replica corruptions, anti-entropy scrubs, and full
+  lockstep rollbacks.  Asserts no acknowledged commit is ever lost,
+  every rollback raises ``StaleImageError``, every single-replica
+  corruption is repaired, and the replicas converge byte-for-byte.
+  Exits non-zero on any violation.
+* ``scrub --replica PATH --replica PATH [--replica PATH ...]
+  [--old-key HEX | --old-seed TEXT]... [--config slug] [--shards N]
+  [--no-repair] [--demo] [--inject-fault BLOB]`` — one anti-entropy
+  pass over a sharded keyspace mirrored across the replica
+  directories: verify every journal, checkpoint, staged rotation
+  checkpoint, and the cross-shard manifest MAC-by-MAC on every
+  replica, elect the freshest authentic copy per blob, and rewrite
+  divergent or corrupt replicas from it (``--no-repair`` reports
+  only).  ``--demo`` seeds a small demo keyspace when the replicas
+  are empty; ``--inject-fault BLOB`` corrupts the named blob on every
+  replica first (an unrepairable fault — the negative control).
+  Exits 1 if any blob has no authentic copy anywhere.
 * ``rotate --dir PATH (--new-key HEX | --new-seed TEXT)
   [--old-key HEX | --old-seed TEXT]... [--shards N] [--config slug]
   [--shard ID]`` — online master-key rotation of a sharded keyspace
@@ -333,6 +356,185 @@ def _crashcampaign(argv: list[str]) -> int:
             "old or the new key epoch with the manifest verifying"
         )
     print("; ".join(messages))
+    return 0
+
+
+def _chaoscampaign(argv: list[str]) -> int:
+    from repro.observability.leakmon import CONFIG_SLUGS
+    from repro.resilience.chaos import run_chaos_campaign
+    from repro.robustness.campaign import default_campaign_configs
+
+    steps = 60
+    seed = 0
+    shards = 2
+    replicas = 3
+    flaky = True
+    config_slugs: list[str] | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--steps" or arg.startswith("--steps="):
+            steps = _parse_int(_flag_value(arg, args, "--steps"), "--steps")
+        elif arg == "--seed" or arg.startswith("--seed="):
+            seed = _parse_int(_flag_value(arg, args, "--seed"), "--seed")
+        elif arg == "--shards" or arg.startswith("--shards="):
+            shards = _parse_int(_flag_value(arg, args, "--shards"), "--shards")
+        elif arg == "--replicas" or arg.startswith("--replicas="):
+            replicas = _parse_int(
+                _flag_value(arg, args, "--replicas"), "--replicas"
+            )
+        elif arg == "--no-flaky":
+            flaky = False
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        else:
+            raise UsageError(f"unknown chaoscampaign argument {arg!r}")
+    if steps < 1:
+        raise UsageError("--steps must be at least 1")
+    if shards < 1:
+        raise UsageError("--shards must be at least 1")
+    if replicas < 2:
+        raise UsageError("--replicas must be at least 2")
+    configs = None
+    if config_slugs is not None:
+        unknown = [slug for slug in config_slugs if slug not in CONFIG_SLUGS]
+        if unknown or not config_slugs:
+            raise UsageError(
+                f"unknown or empty configuration slug(s); "
+                f"available: {', '.join(CONFIG_SLUGS)}"
+            )
+        by_label = dict(default_campaign_configs())
+        configs = [
+            (CONFIG_SLUGS[slug], by_label[CONFIG_SLUGS[slug]])
+            for slug in config_slugs
+        ]
+
+    result = run_chaos_campaign(
+        steps=steps,
+        seed=seed,
+        shard_count=shards,
+        replicas=replicas,
+        flaky=flaky,
+        configs=configs,
+    )
+    print(result.format_matrix())
+    if not result.ok:
+        print()
+        for violation in result.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    rollbacks = sum(r.rollbacks_injected for r in result.per_config)
+    corruptions = sum(r.corruptions for r in result.per_config)
+    print(
+        f"no acknowledged commit lost, all {rollbacks} rollback(s) "
+        f"detected, all {corruptions} single-replica corruption(s) "
+        f"repaired, replicas converged"
+    )
+    return 0
+
+
+def _scrub(argv: list[str]) -> int:
+    from repro.core.keys import KeyChain
+    from repro.durability.vdisk import FileDisk
+    from repro.engine.schema import Column, ColumnType, TableSchema
+    from repro.errors import DiskError
+    from repro.observability.leakmon import CONFIG_SLUGS
+    from repro.resilience import MirroredDisk, scrub_keyspace
+    from repro.robustness.campaign import default_campaign_configs
+    from repro.sharding import ShardedKeyspace
+
+    replicas: list[str] = []
+    old_masters: list[bytes] = []
+    repair = True
+    demo = False
+    inject: str | None = None
+    shards = 2
+    slug = "aead-eax"
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--replica" or arg.startswith("--replica="):
+            replicas.append(_flag_value(arg, args, "--replica"))
+        elif arg == "--old-key" or arg.startswith("--old-key="):
+            old_masters.append(
+                _parse_key(_flag_value(arg, args, "--old-key"), "--old-key")
+            )
+        elif arg == "--old-seed" or arg.startswith("--old-seed="):
+            old_masters.append(_seed_key(_flag_value(arg, args, "--old-seed")))
+        elif arg == "--no-repair":
+            repair = False
+        elif arg == "--demo":
+            demo = True
+        elif arg == "--inject-fault" or arg.startswith("--inject-fault="):
+            inject = _flag_value(arg, args, "--inject-fault")
+        elif arg == "--shards" or arg.startswith("--shards="):
+            shards = _parse_int(_flag_value(arg, args, "--shards"), "--shards")
+        elif arg == "--config" or arg.startswith("--config="):
+            slug = _flag_value(arg, args, "--config")
+        else:
+            raise UsageError(f"unknown scrub argument {arg!r}")
+    if len(replicas) < 2:
+        raise UsageError("scrub requires at least two --replica PATH flags")
+    if shards < 1:
+        raise UsageError("--shards must be at least 1")
+    if slug not in CONFIG_SLUGS:
+        raise UsageError(
+            f"unknown configuration slug {slug!r}; "
+            f"available: {', '.join(CONFIG_SLUGS)}"
+        )
+    if not old_masters:
+        old_masters = [_seed_key("repro-demo-master")]
+
+    chain = KeyChain(old_masters)
+    disks = [FileDisk(path) for path in replicas]
+    mirror = MirroredDisk(disks)
+    if demo and not mirror.names():
+        config = dict(default_campaign_configs())[CONFIG_SLUGS[slug]]
+        keyspace = ShardedKeyspace.open(
+            mirror, chain, config, shard_count=shards
+        )
+        schema = TableSchema("people", [
+            Column("id", ColumnType.INT),
+            Column("name", ColumnType.TEXT),
+            Column("city", ColumnType.TEXT, sensitive=False),
+        ])
+        keyspace.create_table(schema)
+        for i in range(6):
+            keyspace.insert("people", [i, f"name-{i:03d}", f"city-{i % 3}"])
+        keyspace.checkpoint()
+        print(
+            f"created a fresh {shards}-shard demo keyspace across "
+            f"{len(replicas)} replicas"
+        )
+    if inject is not None:
+        # Corrupt the named blob on *every* replica: an unrepairable
+        # fault the scrub must report (and exit non-zero on) — the CI
+        # smoke test's negative control.
+        flipped = 0
+        for disk in disks:
+            try:
+                data = bytearray(disk.read(inject))
+            except DiskError:
+                continue
+            data[0] ^= 0xFF
+            disk.write(inject, bytes(data))
+            disk.sync(inject)
+            flipped += 1
+        if flipped == 0:
+            raise UsageError(f"--inject-fault: no replica holds {inject!r}")
+        print(f"injected fault into {inject!r} on {flipped} replica(s)")
+
+    report = scrub_keyspace(mirror, chain, repair=repair)
+    print(report.format())
+    if report.unrepaired:
+        print()
+        for name in report.unrepaired:
+            print(
+                f"UNREPAIRABLE: {name} has no authentic copy on any replica",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -1170,6 +1372,10 @@ def main(argv: list[str] | None = None) -> int:
             return _faultcampaign(rest)
         if command == "crashcampaign":
             return _crashcampaign(rest)
+        if command == "chaoscampaign":
+            return _chaoscampaign(rest)
+        if command == "scrub":
+            return _scrub(rest)
         if command == "rotate":
             return _rotate(rest)
         if command == "bench":

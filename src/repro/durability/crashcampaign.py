@@ -41,7 +41,6 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sharding.campaign import RotationCampaignResult
 
-from repro.analysis.report import format_table
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
 from repro.engine.database import Database
 from repro.engine.schema import Column, ColumnType, TableSchema
@@ -50,6 +49,7 @@ from repro.errors import PowerCutError, ReproError
 from repro.observability.audit import AUDIT
 from repro.primitives.rng import DeterministicRandom
 from repro.robustness.campaign import default_campaign_configs
+from repro.robustness.reporting import format_detection_matrix, sweep_caption
 
 from repro.durability.manager import DurableDatabase
 from repro.durability.retry import RetryingDisk, RetryPolicy
@@ -216,31 +216,31 @@ class CrashCampaignResult:
         return not self.violations
 
     def format_matrix(self) -> str:
-        rows = [
+        matrix = format_detection_matrix(
             [
-                result.config,
-                result.boundaries,
-                result.trials,
-                result.recovered_pre,
-                result.recovered_post,
-                result.resilient_fallbacks,
-                result.wal_truncations,
-                result.flaky_failures_retried,
-                len(result.violations),
-            ]
-            for result in self.per_config
-        ]
-        limit = "exhaustive" if self.limit is None else f"limit {self.limit}"
-        matrix = format_table(
-            [
-                "configuration", "boundaries", "trials", "pre", "post",
+                "boundaries", "trials", "pre", "post",
                 "fallbacks", "truncations", "retried", "violations",
             ],
-            rows,
-            caption=(
-                f"crash-recovery campaign ({self.rows}-row workload, "
-                f"modes {'/'.join(self.modes)}, {limit} crash points "
-                f"per configuration)"
+            [
+                (
+                    result.config,
+                    [
+                        result.boundaries,
+                        result.trials,
+                        result.recovered_pre,
+                        result.recovered_post,
+                        result.resilient_fallbacks,
+                        result.wal_truncations,
+                        result.flaky_failures_retried,
+                        len(result.violations),
+                    ],
+                )
+                for result in self.per_config
+            ],
+            caption=sweep_caption(
+                "crash-recovery campaign",
+                f"{self.rows}-row workload, modes {'/'.join(self.modes)}",
+                self.limit,
             ),
         ) if self.per_config else ""
         if self.rotation is not None:

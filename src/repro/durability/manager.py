@@ -38,6 +38,11 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.anchor import TrustAnchor
+
 from repro.engine.btree import BPlusTree
 from repro.engine.database import (
     CellCodec,
@@ -376,6 +381,8 @@ class DurableDatabase:
         generation: int,
         seq: int,
         recovery: WalRecovery,
+        anchor: "TrustAnchor | None" = None,
+        anchor_scope: str = "db",
     ) -> None:
         self._disk = disk
         self._db = db
@@ -384,6 +391,8 @@ class DurableDatabase:
         self._generation = generation
         self._seq = seq
         self.recovery = recovery
+        self._anchor = anchor
+        self._anchor_scope = anchor_scope
 
     # -- recovery (the only way in) -------------------------------------------
 
@@ -395,6 +404,8 @@ class DurableDatabase:
         cell_codec: CellCodec | None = None,
         index_codec_factory: IndexCodecFactory | None = None,
         fold: bool = True,
+        anchor: "TrustAnchor | None" = None,
+        anchor_scope: str = "db",
     ) -> "DurableDatabase":
         """Mount a disk: load the checkpoint, replay the journal.
 
@@ -412,6 +423,15 @@ class DurableDatabase:
         rule out mounting with the *wrong keys* (the sharded keyspace's
         epoch probing) use it so an unauthenticated mount never
         overwrites durable bytes a correct key could still recover.
+
+        ``anchor`` enables rollback detection: before accepting the
+        recovered state, its ``(seq, generation)`` is checked against
+        the trusted :class:`~repro.resilience.anchor.TrustAnchor` under
+        ``anchor_scope``, raising
+        :class:`~repro.errors.StaleImageError` when the storage serves
+        state older than an already-acknowledged commit.  The manager
+        then keeps advancing the anchor after every durable commit
+        point.
         """
         report = WalRecovery()
         journal = Journal(disk, mac)
@@ -531,9 +551,24 @@ class DurableDatabase:
             if report.resilient is not None or report.degraded:
                 HUB.event("wal.fallback.events", 1)
 
+        if anchor is not None:
+            # Rollback check *before* anything is written back: a stale
+            # image must never be folded into a fresh checkpoint.  An
+            # honest crash can only leave the storage at or ahead of the
+            # anchor (the anchor advances strictly after each durable
+            # commit point), so recovered < anchored means the store
+            # rolled back or destroyed acknowledged commits.
+            anchor.check(anchor_scope, seq, report.generation)
+            if not report.degraded and report.replay_stopped is None:
+                # Catch the anchor up — but only on a fully trusted
+                # recovery: a forged (unauthenticated) checkpoint could
+                # otherwise inflate the trusted watermark.
+                anchor.advance(anchor_scope, seq, report.generation)
+
         manager = cls(
             disk, db, journal, mac,
             generation=report.generation, seq=seq, recovery=report,
+            anchor=anchor, anchor_scope=anchor_scope,
         )
         if fresh_disk:
             journal.reset(manager._generation)
@@ -570,6 +605,14 @@ class DurableDatabase:
     def mac(self) -> MAC:
         return self._mac
 
+    @property
+    def anchor(self) -> "TrustAnchor | None":
+        return self._anchor
+
+    @property
+    def anchor_scope(self) -> str:
+        return self._anchor_scope
+
     def commit_record(self, op: str, payload: bytes) -> JournalRecord:
         """Journal one protocol record (no engine mutation).
 
@@ -585,6 +628,13 @@ class DurableDatabase:
         record = JournalRecord(self._seq + 1, op, payload)
         self._journal.append(record)
         self._seq = record.seq
+        if self._anchor is not None and op not in ROTATION_OPS:
+            # Advance strictly *after* the journal append: an honest
+            # crash can lose the advance but never leave the anchor
+            # ahead of the disk.  Rotation protocol markers are excluded
+            # — a crash mid-rotation legitimately rolls them back, and
+            # they carry no user data.
+            self._anchor.advance(self._anchor_scope, record.seq, self._generation)
         AUDIT.emit("wal.commit", seq=record.seq, op=op, bytes=len(payload))
         return record
 
@@ -599,6 +649,8 @@ class DurableDatabase:
             self._disk.sync(CHECKPOINT_TMP)
             self._disk.rename(CHECKPOINT_TMP, CHECKPOINT_BLOB)
             self._journal.reset(self._generation)
+        if self._anchor is not None:
+            self._anchor.advance(self._anchor_scope, self._seq, self._generation)
         AUDIT.emit(
             "wal.checkpoint",
             generation=self._generation,

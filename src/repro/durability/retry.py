@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, TypeVar
 
-from repro.errors import TransientDiskError
+from repro.errors import RetryExhaustedError, TransientDiskError
 from repro.primitives.rng import DeterministicRandom, RandomSource
 
 from repro.durability.vdisk import VirtualDisk
@@ -100,7 +100,9 @@ class RetryPolicy:
 
     def call(self, operation: Callable[[], T]) -> T:
         """Run ``operation``, retrying transient failures until the
-        deadline; re-raises the last transient error on exhaustion."""
+        deadline; raises :class:`~repro.errors.RetryExhaustedError`
+        (chained from, and carrying, the last underlying error) on
+        exhaustion."""
         start = self._now()
         attempt = 0
         while True:
@@ -110,7 +112,7 @@ class RetryPolicy:
                 delay = self.backoff(attempt)
                 attempt += 1
                 if self._now() - start + delay > self.deadline:
-                    raise exc
+                    raise RetryExhaustedError(attempt, exc) from exc
                 self._sleep(delay)
 
 
@@ -120,6 +122,11 @@ class RetryingDisk(VirtualDisk):
     def __init__(self, inner: VirtualDisk, policy: RetryPolicy | None = None) -> None:
         self._inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
+
+    @property
+    def inner(self) -> VirtualDisk:
+        """The wrapped disk (stackable over other fault wrappers)."""
+        return self._inner
 
     def read(self, name: str) -> bytes:
         return self.policy.call(lambda: self._inner.read(name))

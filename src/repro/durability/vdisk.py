@@ -20,7 +20,8 @@ Backends:
     ``fsync`` for durability.  No fault injection (the real kernel is in
     charge); exists so the journal can persist across processes.
 :class:`CrashDisk`
-    Wraps a :class:`MemoryDisk` and executes a :class:`CrashPlan`: kill
+    Wraps a :class:`MemoryDisk` (directly, or through any stack of
+    name-preserving wrappers) and executes a :class:`CrashPlan`: kill
     power at the *k*-th mutating operation, optionally applying only a
     prefix of that operation's bytes (a torn sector) or dropping every
     unsynced byte (a lost write cache).
@@ -53,6 +54,25 @@ MUTATING_OPS = ("append", "write", "rename", "delete", "sync")
 
 #: Mutating operations that carry a byte payload and can therefore tear.
 BYTE_OPS = ("append", "write")
+
+
+def base_disk(disk: "VirtualDisk") -> "VirtualDisk":
+    """Resolve a stack of fault wrappers down to the backend disk.
+
+    Every wrapper that passes blob names through unchanged
+    (:class:`CrashDisk`, :class:`FlakyDisk`,
+    :class:`~repro.durability.retry.RetryingDisk`, ...) exposes the
+    wrapped disk as ``.inner``; this walks that chain.
+    :class:`PrefixDisk` deliberately does *not* participate — it renames
+    blobs, so machinery that addresses the backend directly (torn-write
+    injection, ``survivor()``) would write to the wrong names through
+    it.
+    """
+    while True:
+        inner = getattr(disk, "inner", None)
+        if inner is None or inner is disk:
+            return disk
+        disk = inner
 
 
 class VirtualDisk(ABC):
@@ -357,14 +377,26 @@ class CrashDisk(VirtualDisk):
     is gone) raises :class:`~repro.errors.PowerCutError`.
     """
 
-    def __init__(self, inner: MemoryDisk, plan: CrashPlan | None = None) -> None:
+    def __init__(self, inner: VirtualDisk, plan: CrashPlan | None = None) -> None:
         self._inner = inner
+        base = base_disk(inner)
+        if not isinstance(base, MemoryDisk):
+            raise DiskError(
+                "CrashDisk needs a MemoryDisk at the bottom of its wrapper "
+                f"stack to model durability, found {type(base).__name__}"
+            )
+        self._base = base
         self._plan = plan
         self.op_count = 0
         #: Kind of every boundary seen so far, e.g. ``["write", "sync"]``
         #: — a pass-through run records which boundaries can tear.
         self.op_log: list[str] = []
         self.crashed = False
+
+    @property
+    def inner(self) -> VirtualDisk:
+        """The wrapped disk (stackable over other fault wrappers)."""
+        return self._inner
 
     # -- crash machinery ------------------------------------------------------
 
@@ -384,12 +416,14 @@ class CrashDisk(VirtualDisk):
         mode = self._plan.mode
         if mode == "torn" and op in BYTE_OPS and data:
             torn = data[: (len(data) + 1) // 2]
-            getattr(self._inner, op)(name, torn)
-            # The torn sector physically reached the medium mid-write.
-            self._inner.sync(name)
-            self._inner.crash(drop_unsynced=False)
+            # The torn sector physically reached the medium mid-write:
+            # apply it to the backend directly, past any stacked
+            # injectors (a FlakyDisk cannot veto physics).
+            getattr(self._base, op)(name, torn)
+            self._base.sync(name)
+            self._base.crash(drop_unsynced=False)
         else:
-            self._inner.crash(drop_unsynced=(mode == "drop"))
+            self._base.crash(drop_unsynced=(mode == "drop"))
         self.crashed = True
         raise PowerCutError(
             f"power cut at write boundary {index} ({op} {name!r}, {mode})"
@@ -397,7 +431,7 @@ class CrashDisk(VirtualDisk):
 
     def survivor(self) -> MemoryDisk:
         """A fresh disk holding exactly the bytes that survived the cut."""
-        return MemoryDisk(self._inner.durable_state())
+        return MemoryDisk(self._base.durable_state())
 
     # -- reads ---------------------------------------------------------------
 
@@ -461,6 +495,11 @@ class FlakyDisk(VirtualDisk):
         self._threshold = int(fail_rate * 1_000_000)
         self._fail_reads = fail_reads
         self.failures_injected = 0
+
+    @property
+    def inner(self) -> VirtualDisk:
+        """The wrapped disk (stackable over other fault wrappers)."""
+        return self._inner
 
     def _maybe_fail(self, op: str, name: str, is_read: bool = False) -> None:
         if is_read and not self._fail_reads:

@@ -107,6 +107,46 @@ class PowerCutError(DiskError):
     fresh mount of the surviving bytes can continue."""
 
 
+class RetryExhaustedError(TransientDiskError):
+    """A retry policy gave up: every attempt failed transiently and the
+    deadline passed.  Still a :class:`TransientDiskError` (the *cause*
+    is transient; a later call may succeed), but typed so callers can
+    distinguish "one flake" from "the backend stayed down", and carrying
+    the evidence: how many attempts were made and the last underlying
+    error.  Its message is the last error's message, so handlers that
+    only log ``str(exc)`` see the root cause."""
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(str(last_error))
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class StaleImageError(DiskError):
+    """The storage served a validly-MAC'd but *old* state: the trusted
+    freshness anchor has acknowledged commits beyond what the recovered
+    image and journal contain.  Either the store rolled back to an
+    earlier snapshot (the active-server replay of arXiv:1605.01092) or
+    acknowledged commits were destroyed; both must refuse to mount
+    rather than silently resurrect overwritten data."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        anchor_seq: int | None = None,
+        found_seq: int | None = None,
+    ) -> None:
+        if anchor_seq is not None or found_seq is not None:
+            message = (
+                f"{message} (anchor acknowledges seq {anchor_seq}, "
+                f"storage serves seq {found_seq})"
+            )
+        super().__init__(message)
+        self.anchor_seq = anchor_seq
+        self.found_seq = found_seq
+
+
 class SessionError(ReproError):
     """The trusted-session key-handover protocol was misused."""
 

@@ -486,6 +486,31 @@ def default_rules(
             severity=SEVERITY_WARNING,
         ),
         LeakBudgetRule(),
+        # Resilience-layer rules (PR 9): an unrepairable blob means the
+        # scrubber found data with no authentic copy on any replica —
+        # an incident everywhere.  Write failures and read-repairs are
+        # absorbed by the quorum, so they warn rather than page.
+        ThresholdRule(
+            "scrub-unrepaired",
+            "scrub.unrepaired",
+            ">",
+            0,
+            severity=SEVERITY_CRITICAL,
+        ),
+        ThresholdRule(
+            "replica-write-failures",
+            "replica.write_failures",
+            ">",
+            0,
+            severity=SEVERITY_WARNING,
+        ),
+        ThresholdRule(
+            "replica-read-repairs",
+            "replica.read_repairs",
+            ">",
+            0,
+            severity=SEVERITY_WARNING,
+        ),
     ]
     if not allow_fallback:
         rules.append(

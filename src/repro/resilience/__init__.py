@@ -1,0 +1,41 @@
+"""Resilience layer: replication, freshness anchors, and anti-entropy.
+
+The paper's AEAD/MAC fixes (Sect. 5) authenticate what the untrusted
+store *returns*, but an active server (the threat model of Vaswani et
+al., arXiv:1605.01092) can also answer with a stale-but-validly-MAC'd
+snapshot (rollback), serve different replicas different bytes, or lose
+data outright.  This package closes those gaps on top of the
+:class:`~repro.durability.vdisk.VirtualDisk` abstraction:
+
+:mod:`repro.resilience.replica`
+    :class:`MirroredDisk` — N-way replication with quorum reads and
+    read-repair of divergent or corrupt replicas.
+:mod:`repro.resilience.anchor`
+    :class:`TrustAnchor` — a tiny trusted record of the highest
+    acknowledged (commit seq, generation); mounts that recover *behind*
+    it raise :class:`~repro.errors.StaleImageError` instead of silently
+    accepting rolled-back state.
+:mod:`repro.resilience.scrub`
+    The anti-entropy scrubber behind ``repro scrub``: walks every blob
+    across replicas, verifies MACs, repairs bad replicas from healthy
+    ones, and reports what it healed.
+:mod:`repro.resilience.chaos`
+    The unified chaos campaign behind ``repro chaoscampaign``: seeded
+    schedules interleaving crashes, disk faults, rotations, rollbacks,
+    and scrubs, asserting no acknowledged commit is ever lost.
+"""
+
+from repro.resilience.anchor import AnchorMark, FileAnchor, MemoryAnchor, TrustAnchor
+from repro.resilience.replica import MirroredDisk
+from repro.resilience.scrub import ScrubReport, scrub_database, scrub_keyspace
+
+__all__ = [
+    "AnchorMark",
+    "FileAnchor",
+    "MemoryAnchor",
+    "TrustAnchor",
+    "MirroredDisk",
+    "ScrubReport",
+    "scrub_database",
+    "scrub_keyspace",
+]

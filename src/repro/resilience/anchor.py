@@ -1,0 +1,156 @@
+"""Freshness anchors: rollback detection for MAC-authenticated storage.
+
+The WAL and checkpoint envelopes (:mod:`repro.durability.wal`) prove a
+recovered image is *authentic* — some honest client wrote those bytes —
+but not that it is *current*: an active server can answer a mount with
+last week's checkpoint and its matching journal, both perfectly MAC'd,
+and the recovery pipeline would happily resurrect overwritten data
+(the rollback attack of arXiv:1605.01092).
+
+The defence is a **trust anchor**: a tiny record, held on storage the
+client trusts (its own memory, a local file, a TPM slot in a real
+deployment), of the highest acknowledged :class:`AnchorMark` — the
+``(commit seq, checkpoint generation)`` pair already bound into every
+journal record and checkpoint MAC.  The durability layer advances the
+anchor *after* each durable commit point, and every mount checks the
+recovered state against it:
+
+* recovered mark >= anchored mark — fine: an honest crash can lose the
+  anchor's most recent advance (power dies between the commit and the
+  anchor write never happens — the anchor is written after), but the
+  storage can only ever be *ahead* of or *equal to* the anchor;
+* recovered mark < anchored mark — the storage serves state older than
+  something the client has already acknowledged: rollback (or
+  destruction of acknowledged commits), surfaced as a typed
+  :class:`~repro.errors.StaleImageError` instead of a silent mount.
+
+Rotation protocol markers (``rotate_begin``/``progress``/``commit``)
+never advance the anchor: a crash mid-rotation legitimately rolls them
+back, and an anchor that had advanced past them would turn that honest
+recovery into a false rollback alarm.  They carry no user data, so
+nothing acknowledged is lost by excluding them.
+
+Scopes keep one anchor usable for a whole keyspace: each shard checks
+under ``"shard.<id>"`` and the manifest under ``"manifest"``, so a
+rollback of any single shard — or of the cross-shard manifest — trips
+independently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DiskError, StaleImageError
+
+
+@dataclass(frozen=True, order=True)
+class AnchorMark:
+    """The freshness watermark: ``(seq, generation)``, compared
+    lexicographically — a higher commit seq always wins, and between
+    equal seqs a later checkpoint generation wins (a checkpoint folds
+    the same logical state into a new envelope without committing new
+    records)."""
+
+    seq: int
+    generation: int
+
+
+class TrustAnchor(ABC):
+    """A scope -> :class:`AnchorMark` store on *trusted* storage.
+
+    Only two primitive operations are abstract; the freshness protocol —
+    monotonic :meth:`advance`, strict :meth:`check` — is shared, so
+    every backend enforces the same invariant: marks only move forward.
+    """
+
+    @abstractmethod
+    def get(self, scope: str) -> AnchorMark | None:
+        """The current mark for ``scope``, or None if never anchored."""
+
+    @abstractmethod
+    def put(self, scope: str, mark: AnchorMark) -> None:
+        """Persist ``mark`` for ``scope`` (called only by :meth:`advance`)."""
+
+    def advance(self, scope: str, seq: int, generation: int) -> bool:
+        """Raise the watermark to ``(seq, generation)`` if that is ahead
+        of the current mark; never moves backwards.  Returns True when
+        the mark actually advanced."""
+        mark = AnchorMark(seq, generation)
+        current = self.get(scope)
+        if current is not None and mark <= current:
+            return False
+        self.put(scope, mark)
+        return True
+
+    def check(self, scope: str, seq: int, generation: int) -> None:
+        """Raise :class:`~repro.errors.StaleImageError` when the
+        recovered ``(seq, generation)`` is strictly behind the anchored
+        mark for ``scope``."""
+        current = self.get(scope)
+        if current is not None and AnchorMark(seq, generation) < current:
+            raise StaleImageError(
+                f"storage for scope {scope!r} is behind the trust anchor — "
+                f"rollback or loss of acknowledged commits",
+                anchor_seq=current.seq,
+                found_seq=seq,
+            )
+
+
+class MemoryAnchor(TrustAnchor):
+    """Dict-backed anchor: trusted because it lives in the client."""
+
+    def __init__(self) -> None:
+        self._marks: dict[str, AnchorMark] = {}
+
+    def get(self, scope: str) -> AnchorMark | None:
+        return self._marks.get(scope)
+
+    def put(self, scope: str, mark: AnchorMark) -> None:
+        self._marks[scope] = mark
+
+    def marks(self) -> dict[str, AnchorMark]:
+        """A snapshot of every scope's mark (test/report convenience)."""
+        return dict(self._marks)
+
+
+class FileAnchor(TrustAnchor):
+    """A JSON file of marks, written atomically (tmp + ``os.replace``).
+
+    The file must live on storage the client trusts — keeping it next to
+    the replicated data it anchors would let the same rollback that
+    rewinds the data rewind the anchor.  In the paper's deployment model
+    this is the client machine that also holds the keys.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._marks: dict[str, AnchorMark] = {}
+        if self._path.exists():
+            try:
+                raw = json.loads(self._path.read_text())
+            except (OSError, ValueError) as exc:
+                raise DiskError(f"unreadable anchor file {self._path}: {exc}") from None
+            for scope, fields in raw.items():
+                self._marks[scope] = AnchorMark(
+                    int(fields["seq"]), int(fields["generation"])
+                )
+
+    def get(self, scope: str) -> AnchorMark | None:
+        return self._marks.get(scope)
+
+    def put(self, scope: str, mark: AnchorMark) -> None:
+        self._marks[scope] = mark
+        payload = {
+            scope: {"seq": m.seq, "generation": m.generation}
+            for scope, m in sorted(self._marks.items())
+        }
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, self._path)
+        except OSError as exc:
+            raise DiskError(f"cannot write anchor file {self._path}: {exc}") from None

@@ -36,7 +36,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.analysis.report import format_table
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
 from repro.engine.database import Database
 from repro.engine.integrity import verify_database
@@ -46,6 +45,7 @@ from repro.errors import CryptoError, ReproError, StorageFormatError
 from repro.observability.timeseries import HUB
 from repro.robustness.faults import FaultSpec, map_image, plan_fault
 from repro.robustness.recovery import load_database_resilient
+from repro.robustness.reporting import format_detection_matrix
 
 DETECTED_MAC = "detected-by-MAC"
 DETECTED_STRUCTURAL = "detected-structurally"
@@ -129,14 +129,12 @@ class CampaignResult:
         return self.outcomes.get(config, Counter())
 
     def format_matrix(self) -> str:
-        rows = []
-        for config, counter in self.outcomes.items():
-            rows.append(
-                [config] + [counter.get(outcome, 0) for outcome in CAMPAIGN_OUTCOMES]
-            )
-        return format_table(
-            ["configuration", *CAMPAIGN_OUTCOMES],
-            rows,
+        return format_detection_matrix(
+            CAMPAIGN_OUTCOMES,
+            [
+                (config, [counter.get(outcome, 0) for outcome in CAMPAIGN_OUTCOMES])
+                for config, counter in self.outcomes.items()
+            ],
             caption=(
                 f"fault-injection detection matrix "
                 f"({self.seeds} seeded faults per configuration, "

@@ -41,7 +41,6 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.analysis.report import format_table
 from repro.core.encrypted_db import EncryptionConfig
 from repro.core.keys import KeyChain
 from repro.engine.storage import dump_database
@@ -49,6 +48,7 @@ from repro.errors import PowerCutError
 from repro.observability.audit import AUDIT
 from repro.observability.timeseries import HUB
 from repro.robustness.campaign import default_campaign_configs
+from repro.robustness.reporting import format_detection_matrix, sweep_caption
 
 from repro.durability.crashcampaign import (
     _CRASH_MASTER_KEY,
@@ -152,30 +152,31 @@ class RotationCampaignResult:
         return not self.violations
 
     def format_matrix(self) -> str:
-        rows = [
+        return format_detection_matrix(
             [
-                result.config,
-                result.rotation_boundaries,
-                result.trials,
-                result.recovered_pre,
-                result.recovered_post,
-                result.rollbacks,
-                result.rollforwards,
-                len(result.violations),
-            ]
-            for result in self.per_config
-        ]
-        limit = "exhaustive" if self.limit is None else f"limit {self.limit}"
-        return format_table(
-            [
-                "configuration", "boundaries", "trials", "pre", "post",
+                "boundaries", "trials", "pre", "post",
                 "rollbacks", "rollforwards", "violations",
             ],
-            rows,
-            caption=(
-                f"key-rotation crash campaign ({self.rows}-row workload, "
-                f"{self.shard_count} shards, modes {'/'.join(self.modes)}, "
-                f"{limit} crash points per configuration)"
+            [
+                (
+                    result.config,
+                    [
+                        result.rotation_boundaries,
+                        result.trials,
+                        result.recovered_pre,
+                        result.recovered_post,
+                        result.rollbacks,
+                        result.rollforwards,
+                        len(result.violations),
+                    ],
+                )
+                for result in self.per_config
+            ],
+            caption=sweep_caption(
+                "key-rotation crash campaign",
+                f"{self.rows}-row workload, {self.shard_count} shards, "
+                f"modes {'/'.join(self.modes)}",
+                self.limit,
             ),
         )
 

@@ -30,7 +30,10 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.anchor import TrustAnchor
 
 from repro.core.encrypted_db import EncryptionConfig
 from repro.core.keys import KeyChain
@@ -125,6 +128,7 @@ class ShardedKeyspace:
         config: EncryptionConfig,
         shards: list[Shard],
         recovery: KeyspaceRecovery,
+        anchor: "TrustAnchor | None" = None,
     ) -> None:
         self.disk = disk
         self.chain = chain
@@ -132,6 +136,7 @@ class ShardedKeyspace:
         self.shards = shards
         self.recovery = recovery
         self._manifest_seq = 0
+        self._anchor = anchor
 
     # -- mounting (doubles as parallel recovery) ------------------------------
 
@@ -143,17 +148,31 @@ class ShardedKeyspace:
         config: EncryptionConfig | None = None,
         shard_count: int | None = None,
         workers: int | None = None,
+        anchor: "TrustAnchor | None" = None,
     ) -> "ShardedKeyspace":
         """Mount (or create) a keyspace, recovering every shard.
 
         ``workers`` sizes the recovery pool; ``1`` forces sequential
         mounts (the crash campaign uses this for deterministic write
         boundaries on its fault-injecting disks).
+
+        ``anchor`` enables rollback detection across the whole
+        keyspace: the manifest is checked under the scope
+        ``"manifest"`` and every shard under ``"shard.<id>"``; any
+        scope behind the anchor raises
+        :class:`~repro.errors.StaleImageError` instead of mounting.
         """
         config = config if config is not None else EncryptionConfig()
         recovery = KeyspaceRecovery()
         record = read_manifest(disk, chain)
         recovery.manifest = record.status
+        if anchor is not None and record.ok:
+            anchor.check(
+                "manifest", record.manifest.seq, record.manifest.key_epoch
+            )
+            anchor.advance(
+                "manifest", record.manifest.seq, record.manifest.key_epoch
+            )
 
         if record.ok:
             count = len(record.manifest.entries)
@@ -181,6 +200,13 @@ class ShardedKeyspace:
                 )
             hints = {}
             seq = 0
+        if anchor is not None and not record.ok:
+            mark = anchor.get("manifest")
+            if mark is not None:
+                # A lost manifest must not restart the seq counter: the
+                # repaired manifest resumes numbering from the trusted
+                # watermark, so later mounts stay monotonic.
+                seq = max(seq, mark.seq)
         if count < 1:
             raise SchemaError("a keyspace needs at least one shard")
 
@@ -193,6 +219,7 @@ class ShardedKeyspace:
                 index,
                 config,
                 epoch_hint=hints.get(shard_id, 0),
+                anchor=anchor,
             )
 
         pool_size = workers if workers is not None else min(count, _MAX_WORKERS)
@@ -202,7 +229,7 @@ class ShardedKeyspace:
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
                 shards = list(pool.map(mount, range(count)))
 
-        keyspace = cls(disk, chain, config, shards, recovery)
+        keyspace = cls(disk, chain, config, shards, recovery, anchor=anchor)
         keyspace._manifest_seq = seq
         for shard in shards:
             recovery.issues.extend(shard.resolution.issues)
@@ -261,6 +288,10 @@ class ShardedKeyspace:
         manifest = self._current_manifest()
         write_manifest(self.disk, manifest, self.chain)
         self._manifest_seq = manifest.seq
+        if self._anchor is not None:
+            # After the durable write, never before: an honest crash
+            # leaves the anchor at or behind the stored manifest.
+            self._anchor.advance("manifest", manifest.seq, manifest.key_epoch)
 
     def _reconcile_manifest(self, manifest: Manifest | None) -> None:
         """After mounting, make the manifest match the shards on disk."""

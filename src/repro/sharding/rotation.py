@@ -279,17 +279,21 @@ class ShardRotation:
         shard.disk.rename(CHECKPOINT_NEXT, CHECKPOINT_BLOB)
         new_journal = Journal(shard.disk, new_mac)
         new_journal.reset(generation)
-        shard.adopt(
-            new_enc,
-            DurableDatabase(
-                shard.disk,
-                clone,
-                new_journal,
-                new_mac,
-                generation=generation,
-                seq=commit_seq,
-                recovery=manager.recovery,
-            ),
-            self.to_epoch,
+        new_manager = DurableDatabase(
+            shard.disk,
+            clone,
+            new_journal,
+            new_mac,
+            generation=generation,
+            seq=commit_seq,
+            recovery=manager.recovery,
+            anchor=manager.anchor,
+            anchor_scope=manager.anchor_scope,
         )
+        if manager.anchor is not None:
+            # The install is durable (checkpoint renamed in, journal
+            # reset); acknowledge the new generation so a subsequent
+            # rollback to the pre-rotation epoch is detected.
+            manager.anchor.advance(manager.anchor_scope, commit_seq, generation)
+        shard.adopt(new_enc, new_manager, self.to_epoch)
         yield "installed"

@@ -38,6 +38,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.anchor import TrustAnchor
 
 from repro.core.encrypted_db import EncryptedDatabase, EncryptionConfig
 from repro.core.keys import KeyChain, KeyRing
@@ -302,8 +306,13 @@ def mount_shard(
     index: int,
     config: EncryptionConfig,
     epoch_hint: int = 0,
+    anchor: "TrustAnchor | None" = None,
 ) -> Shard:
-    """Resolve any in-flight rotation, then mount the shard."""
+    """Resolve any in-flight rotation, then mount the shard.
+
+    With ``anchor`` set, the mount checks freshness under the scope
+    ``"shard.<shard_id>"`` and raises
+    :class:`~repro.errors.StaleImageError` on rollback."""
     resolution = _resolve(disk, chain, shard_id, epoch_hint)
     enc, mac = shard_crypto(chain, shard_id, resolution.epoch, config)
     manager = DurableDatabase.open(
@@ -314,6 +323,8 @@ def mount_shard(
         # A wrong-chain mount must not fold its (empty) salvage over the
         # checkpoint the correct chain could still authenticate.
         fold=not resolution.unauthenticated,
+        anchor=anchor,
+        anchor_scope=f"shard.{shard_id}",
     )
     return Shard(
         shard_id=shard_id,

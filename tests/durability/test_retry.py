@@ -200,3 +200,34 @@ def test_retrying_disk_masks_a_flaky_backend():
     assert flaky.failures_injected > 0
     # The retries left no partial effects behind.
     assert inner.read("log") == bytes(range(30))
+
+
+def test_retry_exhausted_error_carries_the_evidence():
+    from repro.errors import RetryExhaustedError
+
+    last = TransientDiskError("disk went away")
+    error = RetryExhaustedError(4, last)
+    assert error.attempts == 4
+    assert error.last_error is last
+    assert str(error) == str(last)
+    assert isinstance(error, TransientDiskError)
+
+
+def test_retrying_disk_surfaces_exhaustion_with_attempt_count():
+    from repro.errors import RetryExhaustedError
+
+    flaky = FlakyDisk(MemoryDisk(), DeterministicRandom(b"f"), fail_rate=0.999)
+    disk = RetryingDisk(
+        flaky,
+        RetryPolicy(
+            deadline=0.05,
+            base_delay=0.02,
+            max_delay=0.04,
+            jitter=0.0,
+            rng=DeterministicRandom(b"r"),
+        ),
+    )
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        disk.write("a", b"x")
+    assert excinfo.value.attempts >= 1
+    assert isinstance(excinfo.value.last_error, TransientDiskError)

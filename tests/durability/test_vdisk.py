@@ -203,3 +203,42 @@ def test_flaky_can_spare_reads():
 def test_flaky_rejects_bad_rates():
     with pytest.raises(ValueError):
         FlakyDisk(MemoryDisk(), DeterministicRandom(b"s"), fail_rate=1.0)
+
+
+# -- wrapper stacking ---------------------------------------------------------
+
+def test_base_disk_resolves_through_a_wrapper_stack():
+    from repro.durability.retry import RetryingDisk, RetryPolicy
+    from repro.durability.vdisk import base_disk
+
+    base = MemoryDisk()
+    flaky = FlakyDisk(base, DeterministicRandom(b"s"), fail_rate=0.0)
+    retrying = RetryingDisk(flaky, RetryPolicy())
+    crash = CrashDisk(retrying, CrashPlan(op_index=10 ** 9))
+    assert base_disk(crash) is base
+    assert crash.inner is retrying
+    assert retrying.inner is flaky
+    assert flaky.inner is base
+
+
+def test_torn_write_applies_to_the_base_through_the_stack():
+    base = MemoryDisk()
+    flaky = FlakyDisk(base, DeterministicRandom(b"s"), fail_rate=0.0)
+    crash = CrashDisk(flaky, CrashPlan(op_index=1, mode="torn"))
+    crash.write("a", b"full payload")  # op 0: survives intact
+    with pytest.raises(PowerCutError):
+        crash.write("b", b"full payload")  # op 1: torn at the base
+    survivor = crash.survivor()
+    assert survivor.read("a") == b"full payload"
+    torn = survivor.read("b")
+    assert 0 < len(torn) < len(b"full payload")
+    assert b"full payload".startswith(torn)
+
+
+def test_crash_over_flaky_keeps_both_fault_models():
+    base = MemoryDisk()
+    flaky = FlakyDisk(base, DeterministicRandom(b"always"), fail_rate=0.99)
+    crash = CrashDisk(flaky, CrashPlan(op_index=10 ** 9))
+    with pytest.raises(TransientDiskError):
+        crash.write("a", b"x")
+    assert flaky.failures_injected == 1

@@ -1,0 +1,68 @@
+"""Trust anchors: monotonic freshness marks and rollback detection."""
+
+import pytest
+
+from repro.errors import DiskError, StaleImageError
+from repro.resilience.anchor import AnchorMark, FileAnchor, MemoryAnchor
+
+
+def test_marks_order_lexicographically():
+    assert AnchorMark(1, 1) < AnchorMark(2, 1)
+    assert AnchorMark(2, 1) < AnchorMark(2, 2)
+    assert AnchorMark(3, 1) > AnchorMark(2, 9)
+
+
+def test_advance_is_a_monotonic_floor():
+    anchor = MemoryAnchor()
+    assert anchor.advance("db", 5, 1)
+    assert not anchor.advance("db", 4, 1)   # behind: refused
+    assert not anchor.advance("db", 5, 1)   # equal: refused
+    assert anchor.advance("db", 5, 2)       # generation moved: accepted
+    assert anchor.get("db") == AnchorMark(5, 2)
+
+
+def test_check_accepts_fresh_and_equal_states():
+    anchor = MemoryAnchor()
+    anchor.advance("db", 5, 2)
+    anchor.check("db", 5, 2)
+    anchor.check("db", 9, 2)
+    anchor.check("db", 5, 3)
+
+
+def test_check_raises_typed_stale_image_error_on_rollback():
+    anchor = MemoryAnchor()
+    anchor.advance("db", 7, 3)
+    with pytest.raises(StaleImageError) as excinfo:
+        anchor.check("db", 4, 3)
+    assert excinfo.value.anchor_seq == 7
+    assert excinfo.value.found_seq == 4
+    assert "rollback" in str(excinfo.value)
+    assert isinstance(excinfo.value, DiskError)
+
+
+def test_scopes_are_independent():
+    anchor = MemoryAnchor()
+    anchor.advance("shard.s0", 9, 1)
+    anchor.check("shard.s1", 0, 0)  # untouched scope: anything goes
+    with pytest.raises(StaleImageError):
+        anchor.check("shard.s0", 1, 1)
+
+
+def test_file_anchor_round_trips_across_reopen(tmp_path):
+    path = tmp_path / "anchor.json"
+    anchor = FileAnchor(path)
+    anchor.advance("db", 12, 4)
+    anchor.advance("manifest", 3, 1)
+
+    reopened = FileAnchor(path)
+    assert reopened.get("db") == AnchorMark(12, 4)
+    assert reopened.get("manifest") == AnchorMark(3, 1)
+    with pytest.raises(StaleImageError):
+        reopened.check("db", 11, 4)
+
+
+def test_file_anchor_rejects_unreadable_state(tmp_path):
+    path = tmp_path / "anchor.json"
+    path.write_text("not json at all {")
+    with pytest.raises(DiskError):
+        FileAnchor(path)

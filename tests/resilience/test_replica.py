@@ -1,0 +1,132 @@
+"""MirroredDisk: quorum writes, majority reads, read-repair."""
+
+import pytest
+
+from repro.durability.vdisk import MemoryDisk, VirtualDisk
+from repro.errors import DiskError, PowerCutError, TransientDiskError
+from repro.resilience.replica import MirroredDisk
+
+
+class DeadDisk(VirtualDisk):
+    """Every operation fails with a DiskError."""
+
+    def read(self, name):
+        raise DiskError("dead")
+
+    def exists(self, name):
+        raise DiskError("dead")
+
+    def names(self):
+        raise DiskError("dead")
+
+    def append(self, name, data):
+        raise DiskError("dead")
+
+    def write(self, name, data):
+        raise DiskError("dead")
+
+    def rename(self, src, dst):
+        raise DiskError("dead")
+
+    def delete(self, name):
+        raise DiskError("dead")
+
+    def sync(self, name):
+        raise DiskError("dead")
+
+
+class CutDisk(DeadDisk):
+    """The host lost power mid-operation — not a replica fault."""
+
+    def write(self, name, data):
+        raise PowerCutError("host died")
+
+
+def mirror3():
+    return MirroredDisk([MemoryDisk(), MemoryDisk(), MemoryDisk()])
+
+
+def test_requires_at_least_two_replicas():
+    with pytest.raises(DiskError):
+        MirroredDisk([MemoryDisk()])
+
+
+def test_quorum_is_a_strict_majority():
+    assert MirroredDisk([MemoryDisk(), MemoryDisk()]).quorum == 2
+    assert mirror3().quorum == 2
+    assert MirroredDisk([MemoryDisk() for _ in range(5)]).quorum == 3
+
+
+def test_writes_fan_out_to_every_replica():
+    mirror = mirror3()
+    mirror.write("a", b"payload")
+    mirror.sync("a")
+    for replica in mirror.replicas:
+        assert replica.read("a") == b"payload"
+
+
+def test_one_dead_replica_is_absorbed():
+    mirror = MirroredDisk([MemoryDisk(), DeadDisk(), MemoryDisk()])
+    mirror.write("a", b"payload")
+    assert mirror.write_failures == 1
+    assert mirror.read("a") == b"payload"
+
+
+def test_losing_the_quorum_raises():
+    mirror = MirroredDisk([MemoryDisk(), DeadDisk(), DeadDisk()])
+    with pytest.raises(DiskError):
+        mirror.write("a", b"payload")
+
+
+def test_power_cut_always_propagates():
+    mirror = MirroredDisk([MemoryDisk(), CutDisk(), MemoryDisk()])
+    with pytest.raises(PowerCutError):
+        mirror.write("a", b"payload")
+
+
+def test_retry_exhaustion_counts_as_a_replica_write_failure():
+    from repro.errors import RetryExhaustedError
+
+    class ExhaustedDisk(DeadDisk):
+        def write(self, name, data):
+            raise RetryExhaustedError(3, TransientDiskError("still flaky"))
+
+    mirror = MirroredDisk([MemoryDisk(), ExhaustedDisk(), MemoryDisk()])
+    mirror.write("a", b"payload")
+    assert mirror.write_failures == 1
+
+
+def test_majority_read_heals_the_divergent_replica():
+    mirror = mirror3()
+    mirror.write("a", b"good")
+    mirror.sync("a")
+    mirror.replicas[1].write("a", b"bad!")
+    mirror.replicas[1].sync("a")
+
+    assert mirror.read("a") == b"good"
+    assert mirror.read_repairs == 1
+    assert mirror.replicas[1].read("a") == b"good"
+
+
+def test_read_without_any_copy_raises_no_such_blob():
+    mirror = mirror3()
+    with pytest.raises(DiskError, match="no such blob"):
+        mirror.read("missing")
+
+
+def test_read_without_a_majority_raises():
+    mirror = mirror3()
+    mirror.replicas[0].write("a", b"one")
+    mirror.replicas[1].write("a", b"two")
+    mirror.replicas[2].write("a", b"tri")
+    with pytest.raises(DiskError, match="majority"):
+        mirror.read("a")
+
+
+def test_exists_and_names_use_the_quorum_view():
+    mirror = mirror3()
+    mirror.replicas[0].write("solo", b"x")
+    mirror.write("everywhere", b"y")
+    assert not mirror.exists("solo")
+    assert mirror.exists("everywhere")
+    assert mirror.names() == ["everywhere"]

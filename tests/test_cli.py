@@ -475,3 +475,53 @@ def test_monitor_rejects_unknown_scenario_and_injection(capsys):
     assert "unknown injection" in capsys.readouterr().err
     assert main(["monitor", "--frobnicate"]) == 2
     assert "unknown monitor argument" in capsys.readouterr().err
+
+
+def test_chaoscampaign_small_schedule_passes(capsys):
+    assert main(["chaoscampaign", "--steps", "10", "--seed", "5",
+                 "--configs", "plain"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign" in out
+    assert "no acknowledged commit lost" in out
+
+
+def test_chaoscampaign_rejects_unknown_config(capsys):
+    assert main(["chaoscampaign", "--configs", "teleport"]) == 2
+    assert "configuration slug" in capsys.readouterr().err
+
+
+def test_scrub_demo_then_heals_an_injected_single_replica_fault(
+    tmp_path, capsys
+):
+    replicas = [str(tmp_path / f"replica-{i}") for i in range(3)]
+    flags = [x for path in replicas for x in ("--replica", path)]
+    assert main(["scrub", *flags, "--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "demo keyspace" in out
+    assert "scrub" in out
+
+    # Corrupt the manifest on exactly one replica: repairable.
+    import pathlib
+
+    victim = next(pathlib.Path(replicas[1]).glob("manifest*"))
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    victim.write_bytes(bytes(blob))
+    assert main(["scrub", *flags]) == 0
+    out = capsys.readouterr().out
+    assert "1 replica repair(s)" in out
+    assert "manifest: repaired" in out
+
+
+def test_scrub_unrepairable_fault_exits_nonzero(tmp_path, capsys):
+    replicas = [str(tmp_path / f"replica-{i}") for i in range(2)]
+    flags = [x for path in replicas for x in ("--replica", path)]
+    assert main(["scrub", *flags, "--demo"]) == 0
+    capsys.readouterr()
+    assert main(["scrub", *flags, "--inject-fault", "manifest"]) == 1
+    assert "UNREPAIRABLE" in capsys.readouterr().err
+
+
+def test_scrub_requires_two_replicas(capsys, tmp_path):
+    assert main(["scrub", "--replica", str(tmp_path / "only")]) == 2
+    assert "at least two" in capsys.readouterr().err
