@@ -112,6 +112,28 @@ Commands:
   series; ``--inject cipher-miscount`` / ``--inject wal-fallback``
   simulate faults to prove the rules fire.  Exits 1 when any alert
   fires, 2 on usage errors.
+* ``forensics <FLIGHT.json> [--scorecard] [--timeline]`` — grade a
+  recorded flight document: join the typed fault-injection ground
+  truth against the detections the stack emitted, print the per-class
+  detection scorecard (rate, latency in ticks, false positives) and —
+  with ``--timeline`` — the causally ordered incident timeline with
+  root-cause attribution.  Exits 1 when any gated fault class was
+  missed or any false positive exists.
+* ``forensics --chaos [--steps N] [--seed N] [--shards N]
+  [--replicas N] [--no-flaky] [--configs slug,...] [--out PATH]
+  [--timeline]`` — run the seeded chaos campaign plus the gated
+  control faults under the flight recorder, write the flight document
+  to ``--out``, and grade it requiring 100 % detection of every gated
+  class (tamper, rollback, unrepairable) and zero false alarms.
+* ``forensics --healthy [--scenario NAME] [--inject FAULT]
+  [--limit N] [--out PATH]`` — the false-alarm control: a monitored
+  run with no injected faults must record zero incidents (no alerts,
+  no typed errors, no unmatched detections); exits 1 otherwise.
+  ``--inject`` passes monitor fault injections through, making a
+  non-zero exit the *expected* outcome (CI's negative control).
+
+All commands exit 0 on success, 1 on a finding (divergence, violation,
+alert, missed detection), and 2 on a usage error.
 """
 
 from __future__ import annotations
@@ -129,7 +151,9 @@ from repro.analysis.overhead import (
 from repro.analysis.report import format_table
 
 
-def _demo() -> int:
+def _demo(argv: list[str]) -> int:
+    if argv:
+        raise UsageError(f"demo takes no arguments, got {argv[0]!r}")
     from repro import EncryptedDatabase, EncryptionConfig
     from repro.engine import Column, ColumnType, PointQuery, TableSchema
 
@@ -147,7 +171,9 @@ def _demo() -> int:
     return 0
 
 
-def _attacks() -> int:
+def _attacks(argv: list[str]) -> int:
+    if argv:
+        raise UsageError(f"attacks takes no arguments, got {argv[0]!r}")
     from repro.attacks import (
         evaluate_append_forgery,
         evaluate_index_linkage,
@@ -193,7 +219,9 @@ def _attacks() -> int:
     return 0
 
 
-def _overhead() -> int:
+def _overhead(argv: list[str]) -> int:
+    if argv:
+        raise UsageError(f"overhead takes no arguments, got {argv[0]!r}")
     storage_rows = []
     for scheme in ("eax", "ocb", "ccfb", "gcm"):
         overhead = measure_storage_overhead(scheme, b"P" * 48)
@@ -1203,6 +1231,7 @@ def _monitor(argv: list[str]) -> int:
     from repro.observability.export import (
         render_prometheus_samples,
         render_series_jsonl,
+        series_dropped_samples,
     )
     from repro.observability.health import load_rules
     from repro.observability.monitor import (
@@ -1322,7 +1351,13 @@ def _monitor(argv: list[str]) -> int:
             for entry in doc["series"]
             if entry["samples"]
         ]
-        Path(prom_path).write_text(render_prometheus_samples(samples))
+        text = render_prometheus_samples(samples)
+        # Ring-drop counters ride along so a scrape can alert on any
+        # evicted sample, mirroring the bench harness's hard failure.
+        text += render_prometheus_samples(
+            series_dropped_samples(doc["series"]), type_hint="counter"
+        )
+        Path(prom_path).write_text(text)
         print(f"prometheus samples written to {prom_path}")
     if jsonl_path is not None:
         Path(jsonl_path).write_text(render_series_jsonl(doc["series"]))
@@ -1353,6 +1388,189 @@ def _monitor(argv: list[str]) -> int:
     return 0
 
 
+def _forensics(argv: list[str]) -> int:
+    from repro.observability.flightrecorder import GATED_CLASSES
+    from repro.observability.forensics import (
+        build_timeline,
+        load_and_grade,
+        render_scorecard,
+        render_timeline,
+        run_chaos_flight,
+        run_healthy_flight,
+        scorecard_gate,
+    )
+    from repro.observability.monitor import INJECTIONS
+
+    chaos = False
+    healthy = False
+    flight_path: str | None = None
+    show_timeline = False
+    steps = 24
+    seed = 0
+    shards = 2
+    replicas = 3
+    flaky = True
+    config_slugs: list[str] | None = None
+    scenario = "point_query"
+    inject: list[str] = []
+    limit: int | None = None
+    out: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--chaos":
+            chaos = True
+        elif arg == "--healthy":
+            healthy = True
+        elif arg == "--scorecard":
+            pass  # the scorecard is always printed; kept for symmetry
+        elif arg == "--timeline":
+            show_timeline = True
+        elif arg == "--steps" or arg.startswith("--steps="):
+            steps = _parse_int(_flag_value(arg, args, "--steps"), "--steps")
+        elif arg == "--seed" or arg.startswith("--seed="):
+            seed = _parse_int(_flag_value(arg, args, "--seed"), "--seed")
+        elif arg == "--shards" or arg.startswith("--shards="):
+            shards = _parse_int(_flag_value(arg, args, "--shards"), "--shards")
+        elif arg == "--replicas" or arg.startswith("--replicas="):
+            replicas = _parse_int(
+                _flag_value(arg, args, "--replicas"), "--replicas"
+            )
+        elif arg == "--no-flaky":
+            flaky = False
+        elif arg == "--configs" or arg.startswith("--configs="):
+            value = _flag_value(arg, args, "--configs")
+            config_slugs = [s for s in value.split(",") if s]
+        elif arg == "--scenario" or arg.startswith("--scenario="):
+            scenario = _flag_value(arg, args, "--scenario")
+        elif arg == "--inject" or arg.startswith("--inject="):
+            fault = _flag_value(arg, args, "--inject")
+            if fault not in INJECTIONS:
+                raise UsageError(
+                    f"unknown injection {fault!r}; "
+                    f"available: {', '.join(INJECTIONS)}"
+                )
+            inject.append(fault)
+        elif arg == "--limit" or arg.startswith("--limit="):
+            limit = _parse_int(_flag_value(arg, args, "--limit"), "--limit")
+        elif arg == "--out" or arg.startswith("--out="):
+            out = _flag_value(arg, args, "--out")
+        elif arg.startswith("--"):
+            raise UsageError(f"unknown forensics argument {arg!r}")
+        elif flight_path is None:
+            flight_path = arg
+        else:
+            raise UsageError("forensics takes at most one FLIGHT.json path")
+
+    modes = sum([chaos, healthy, flight_path is not None])
+    if modes != 1:
+        raise UsageError(
+            "forensics requires exactly one of: a FLIGHT.json path, "
+            "--chaos, or --healthy"
+        )
+    if steps < 1:
+        raise UsageError("--steps must be at least 1")
+    if shards < 1:
+        raise UsageError("--shards must be at least 1")
+    if replicas < 2:
+        raise UsageError("--replicas must be at least 2")
+
+    if healthy:
+        from repro.observability.monitor import monitor_scenarios
+
+        if scenario not in monitor_scenarios():
+            raise UsageError(
+                f"unknown scenario {scenario!r}; "
+                f"available: {', '.join(monitor_scenarios())}"
+            )
+        health, doc, incidents = run_healthy_flight(
+            scenario=scenario,
+            inject=tuple(inject),
+            limit=limit,
+            out=out,
+        )
+        print(
+            f"healthy run: {scenario} over {health['ticks']} tick(s), "
+            f"{len(doc['records'])} flight record(s)"
+        )
+        if out is not None:
+            print(f"flight document written to {out}")
+        if show_timeline:
+            print(render_timeline(build_timeline(doc)))
+        if incidents:
+            print()
+            for incident in incidents:
+                print(f"INCIDENT: {incident}", file=sys.stderr)
+            return 1
+        print("no incidents: zero alerts, zero typed errors, "
+              "zero false positives")
+        return 0
+
+    if chaos:
+        configs = None
+        if config_slugs is not None:
+            from repro.observability.leakmon import CONFIG_SLUGS
+            from repro.robustness.campaign import default_campaign_configs
+
+            unknown = [s for s in config_slugs if s not in CONFIG_SLUGS]
+            if unknown or not config_slugs:
+                raise UsageError(
+                    f"unknown or empty configuration slug(s); "
+                    f"available: {', '.join(CONFIG_SLUGS)}"
+                )
+            by_label = dict(default_campaign_configs())
+            configs = [
+                (CONFIG_SLUGS[s], by_label[CONFIG_SLUGS[s]])
+                for s in config_slugs
+            ]
+        campaign, doc, scorecard = run_chaos_flight(
+            steps=steps,
+            seed=seed,
+            configs=configs,
+            shard_count=shards,
+            replicas=replicas,
+            flaky=flaky,
+            out=out,
+        )
+        print(render_scorecard(scorecard))
+        if out is not None:
+            print(f"flight document written to {out}")
+        if show_timeline:
+            print(render_timeline(build_timeline(doc)))
+        problems = []
+        if not campaign.ok:
+            problems.extend(campaign.violations)
+        problems.extend(scorecard_gate(scorecard, require=GATED_CLASSES))
+        if problems:
+            print()
+            for problem in problems:
+                print(f"GATE FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(
+            "detection gate: every gated class (tamper, rollback, "
+            "unrepairable) detected 100%, zero false positives"
+        )
+        return 0
+
+    try:
+        doc, scorecard = load_and_grade(flight_path)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    print(f"graded {flight_path}: {len(doc['records'])} record(s), "
+          f"reason {doc['reason']!r}")
+    print(render_scorecard(scorecard))
+    if show_timeline:
+        print(render_timeline(build_timeline(doc)))
+    problems = scorecard_gate(scorecard)
+    if problems:
+        print()
+        for problem in problems:
+            print(f"GATE FAILED: {problem}", file=sys.stderr)
+        return 1
+    print("scorecard gate: OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -1361,11 +1579,11 @@ def main(argv: list[str] | None = None) -> int:
     command, *rest = argv
     try:
         if command == "demo":
-            return _demo()
+            return _demo(rest)
         if command == "attacks":
-            return _attacks()
+            return _attacks(rest)
         if command == "overhead":
-            return _overhead()
+            return _overhead(rest)
         if command == "collisions":
             return _collisions(rest)
         if command == "faultcampaign":
@@ -1390,6 +1608,8 @@ def main(argv: list[str] | None = None) -> int:
             return _explain(rest)
         if command == "monitor":
             return _monitor(rest)
+        if command == "forensics":
+            return _forensics(rest)
     except UsageError as exc:
         print(f"error: {exc}\n", file=sys.stderr)
         print(__doc__)

@@ -135,7 +135,13 @@ def run_bench(
 
     results: list[ScenarioResult] = []
     was_enabled = observability.enabled()
+    hub_was_enabled = observability.HUB.enabled
     observability.enable()  # before any database is constructed
+    # Telemetry rides along so the report can prove its rings never
+    # overflowed: the PR 5 "zero dropped spans" guarantee, extended to
+    # the time-series layer.
+    observability.HUB.reset()
+    observability.HUB.enable()
     # Pin every histogram reservoir to the run's seed, so two identical
     # runs report identical p50/p95/p99 regardless of process history.
     observability.REGISTRY.seed_reservoirs(_MASTER_KEY.hex())
@@ -163,17 +169,53 @@ def run_bench(
                         "spans mid-bench (trace.spans_dropped != 0); the "
                         "report's span-derived numbers would be partial"
                     )
+        series_dropped = telemetry_dropped_entries(observability.HUB)
+        for entry in series_dropped:
+            if entry["dropped"]:
+                raise AssertionError(
+                    f"telemetry series {entry['series']!r} {entry['labels']} "
+                    f"evicted {entry['dropped']} sample(s) mid-bench; the "
+                    "report's series-derived numbers would be partial"
+                )
     finally:
         observability.reset()
+        observability.HUB.reset()
         if not was_enabled:
             observability.disable()
+        if not hub_was_enabled:
+            observability.HUB.disable()
 
     meta = run_metadata(
         seed=_MASTER_KEY.hex(),
         config=", ".join(label for label, _ in default_campaign_configs()),
         scenarios=scenario_names,
     )
-    return build_report(results, paper_checks, quick=quick, meta=meta)
+    return build_report(
+        results,
+        paper_checks,
+        quick=quick,
+        meta=meta,
+        series_dropped=series_dropped,
+    )
+
+
+def telemetry_dropped_entries(hub) -> list[dict]:
+    """Per-series ring-drop counts from one hub, JSON-ready and sorted.
+
+    Zero counts are embedded too: the report states positively that no
+    series overflowed, rather than staying silent about series it never
+    looked at.
+    """
+    entries = [
+        {
+            "series": entry["name"],
+            "labels": entry.get("labels", {}),
+            "dropped": int(entry.get("dropped", 0)),
+        }
+        for entry in hub.snapshot()["series"]
+    ]
+    entries.sort(key=lambda e: (e["series"], sorted(e["labels"].items())))
+    return entries
 
 
 def summarize(report: dict) -> str:

@@ -50,18 +50,22 @@ def build_report(
     paper_checks: dict,
     quick: bool,
     meta: dict | None = None,
+    series_dropped: list | None = None,
 ) -> dict:
     """Assemble the full report document from scenario results.
 
     ``meta`` is the reproducibility block (seed, configuration names,
     git describe, interpreter); the harness supplies it so artifacts are
     self-describing, but reports without one stay valid — historical
-    baselines predate the field.
+    baselines predate the field.  ``series_dropped`` embeds the
+    per-telemetry-series ring-drop counts the harness observed (all of
+    which it requires to be zero); like ``meta``, baselines without the
+    field stay valid.
     """
     scenario_dicts = [result.to_dict() for result in scenario_results]
     checks_ok = all(check.get("ok") for check in paper_checks.values())
     scenarios_ok = all(result.ok for result in scenario_results)
-    return {
+    report = {
         "schema": SCHEMA,
         "quick": quick,
         "python": sys.version.split()[0],
@@ -71,6 +75,9 @@ def build_report(
         "paper_checks": paper_checks,
         "ok": checks_ok and scenarios_ok,
     }
+    if series_dropped is not None:
+        report["series_dropped"] = series_dropped
+    return report
 
 
 def write_report(report: dict, path: str | Path, overwrite: bool = False) -> Path:
@@ -136,6 +143,22 @@ def validate_report(report: dict) -> list[str]:
         for name, check in checks.items():
             if not isinstance(check, dict) or not isinstance(check.get("ok"), bool):
                 problems.append(f"paper_checks[{name!r}] missing boolean 'ok'")
+    series_dropped = report.get("series_dropped")
+    if series_dropped is not None:
+        # Optional for historical baselines; structured when present.
+        if not isinstance(series_dropped, list):
+            problems.append("'series_dropped' must be a list when present")
+        else:
+            for index, entry in enumerate(series_dropped):
+                where = f"series_dropped[{index}]"
+                if not isinstance(entry, dict):
+                    problems.append(f"{where} is not an object")
+                    continue
+                if not isinstance(entry.get("series"), str) or not entry.get("series"):
+                    problems.append(f"{where} needs a non-empty 'series'")
+                dropped = entry.get("dropped")
+                if not isinstance(dropped, int) or dropped < 0:
+                    problems.append(f"{where}.dropped must be a non-negative int")
     return problems
 
 

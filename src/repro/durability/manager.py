@@ -63,6 +63,7 @@ from repro.engine.storage import (
 from repro.errors import SchemaError, StorageFormatError
 from repro.mac.base import MAC
 from repro.observability.audit import AUDIT
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import HUB
 from repro.observability.trace import TRACER as _TRACER
 from repro.robustness.recovery import RecoveryReport, load_database_resilient
@@ -485,6 +486,11 @@ class DurableDatabase:
                 offset=scan.truncated_at,
                 reason=scan.truncated_reason,
             )
+            RECORDER.note(
+                "wal.truncated",
+                offset=scan.truncated_at,
+                reason=scan.truncated_reason,
+            )
 
         # A clean checkpoint only extends a journal of its own
         # generation; a missing or degraded one takes any committed
@@ -535,6 +541,14 @@ class DurableDatabase:
             report.indexes_rebuilt = True
 
         AUDIT.emit(
+            "wal.replay",
+            checkpoint=report.checkpoint,
+            journal=report.journal,
+            replayed=report.records_replayed,
+            skipped=report.records_skipped,
+            rebuilt=report.indexes_rebuilt,
+        )
+        RECORDER.note(
             "wal.replay",
             checkpoint=report.checkpoint,
             journal=report.journal,

@@ -30,7 +30,16 @@ from repro.observability.export import (
     render_prometheus,
     render_prometheus_samples,
     render_series_jsonl,
+    series_dropped_samples,
     write_snapshot,
+)
+from repro.observability.flightrecorder import (
+    GATED_CLASSES,
+    RECORDER,
+    FlightRecorder,
+    load_flight,
+    validate_flight_report,
+    write_flight,
 )
 from repro.observability.health import (
     Alert,
@@ -111,13 +120,16 @@ def reset() -> None:
 
 __all__ = [
     "AUDIT",
+    "GATED_CLASSES",
     "HUB",
     "PROBES",
+    "RECORDER",
     "REGISTRY",
     "TRACER",
     "Alert",
     "AuditError",
     "AuditLog",
+    "FlightRecorder",
     "BaselineP99Rule",
     "Counter",
     "DeltaRule",
@@ -149,6 +161,7 @@ __all__ = [
     "enabled",
     "format_profile",
     "git_describe",
+    "load_flight",
     "load_rules",
     "maybe_audit_cell_codec",
     "maybe_audit_index_codec",
@@ -168,11 +181,14 @@ __all__ = [
     "run_metadata",
     "run_monitor",
     "scheme_label",
+    "series_dropped_samples",
     "timed",
     "validate_chrome_trace",
+    "validate_flight_report",
     "validate_health_report",
     "write_chrome_trace",
     "write_events",
+    "write_flight",
     "write_health",
     "write_snapshot",
 ]

@@ -35,6 +35,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro.observability.flightrecorder import RECORDER
+
 #: Cipher block size every scheme in the repo uses for leakage analysis.
 BLOCK_SIZE = 16
 
@@ -151,6 +153,7 @@ class AuditLog:
                 self._sink.write(encode_line(event) + "\n")
         for consumer in self._consumers:
             consumer(event)
+        RECORDER.record_audit(event)
 
     def events(self) -> list[dict]:
         return list(self._buffer)

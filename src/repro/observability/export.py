@@ -125,6 +125,24 @@ def render_prometheus_samples(
     return "".join(line + "\n" for line in lines)
 
 
+def series_dropped_samples(series_list) -> list[tuple[str, dict, int]]:
+    """Per-series ring-drop counts as ``(name, labels, value)`` triples.
+
+    ``series_list`` is the ``series`` array of a
+    :meth:`TelemetryHub.snapshot`.  Every series is reported — including
+    the zero counts — under the ``series.dropped`` metric with the
+    series' own name attached as a ``series`` label, so an exporter
+    scrape can alert on any nonzero sample (the bench harness fails hard
+    on the same condition).
+    """
+    samples = []
+    for entry in series_list:
+        labels = dict(entry.get("labels", {}))
+        labels["series"] = entry["name"]
+        samples.append(("series.dropped", labels, int(entry.get("dropped", 0))))
+    return samples
+
+
 def series_lines_jsonl(series_list) -> list[str]:
     """One JSON object per time-series, full sample history included.
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import Series, TelemetryHub
 
 SEVERITY_INFO = "info"
@@ -553,6 +554,8 @@ class HealthEngine:
         for rule in self.rules:
             fired = rule.evaluate(hub)
             self.fired[rule.name] += len(fired)
+            for alert in fired:
+                RECORDER.record_alert(alert.to_dict())
             alerts.extend(fired)
         return alerts
 

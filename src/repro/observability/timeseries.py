@@ -34,6 +34,8 @@ import threading
 from collections import deque
 from typing import Callable, Iterable
 
+from repro.observability.flightrecorder import RECORDER
+
 SNAPSHOT_SCHEMA = "repro-timeseries/1"
 
 #: Samples retained per series; drops beyond this are counted.
@@ -169,6 +171,7 @@ class TelemetryHub:
                 self.record(name, value, labels=merged)
         if self.on_tick is not None:
             self.on_tick(now, self)
+        RECORDER.record_hub_tick(now, len(self._series))
         return now
 
     # -- recording ----------------------------------------------------------

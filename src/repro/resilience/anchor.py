@@ -92,6 +92,19 @@ class TrustAnchor(ABC):
         mark for ``scope``."""
         current = self.get(scope)
         if current is not None and AnchorMark(seq, generation) < current:
+            # Cold path (the raise is the detection); a local import
+            # keeps this low-level module out of the observability
+            # package's import graph on the happy path.
+            from repro.observability.flightrecorder import RECORDER
+
+            RECORDER.record_detection(
+                "rollback",
+                scope=scope,
+                anchor_seq=current.seq,
+                found_seq=seq,
+                generation=generation,
+                via="anchor",
+            )
             raise StaleImageError(
                 f"storage for scope {scope!r} is behind the trust anchor — "
                 f"rollback or loss of acknowledged commits",

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from repro.core.encrypted_db import EncryptionConfig
 from repro.core.keys import KeyChain
 from repro.errors import DiskError, StaleImageError, TransientDiskError
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import HUB
 from repro.primitives.rng import DeterministicRandom
 
@@ -191,6 +192,12 @@ class _ChaosRun:
         #: make it genuinely unrepairable, which is not this campaign's
         #: contract.
         self.outstanding: dict[str, int] = {}
+        #: Open flight-recorder tamper injections: (injection id, blob,
+        #: replica index, the corrupt bytes as written).  Swept against
+        #: current replica bytes to resolve injections that a remount's
+        #: read-repair or a freshness heal removed before any MAC-level
+        #: detector could grade them.
+        self.live_injections: list[tuple[str, str, int, bytes]] = []
         #: Durable snapshots for rollback injection: (progress marker,
         #: per-replica durable state).
         self.history: list[tuple[int, list[dict[str, bytes]]]] = []
@@ -251,6 +258,25 @@ class _ChaosRun:
     def _violation(self, message: str) -> None:
         self.result.violations.append(f"{self.label}: {message}")
 
+    def _sweep_superseded(self, reason: str) -> None:
+        """Resolve tracked tamper injections whose corrupt bytes are no
+        longer on the replica: a remount's read-repair or a freshness
+        heal overwrote them before a MAC verdict graded them, so they
+        leave the detectable denominator instead of counting as misses."""
+        remaining: list[tuple[str, str, int, bytes]] = []
+        for inj_id, name, replica, corrupt in self.live_injections:
+            try:
+                current: bytes | None = self.bases[replica].read(name)
+            except DiskError:
+                current = None
+            if current != corrupt:
+                RECORDER.resolve_injection(
+                    inj_id, reason, blob=name, replica=replica
+                )
+            else:
+                remaining.append((inj_id, name, replica, corrupt))
+        self.live_injections = remaining
+
     # -- oracle ----------------------------------------------------------------
 
     def verify(self, where: str) -> None:
@@ -287,6 +313,7 @@ class _ChaosRun:
         self.history.append((self._progress(), self._snapshot()))
 
     def event_insert(self) -> None:
+        RECORDER.tick()
         row = _row_values(self.next_row)
         self.next_row += 1
         try:
@@ -301,11 +328,16 @@ class _ChaosRun:
         self.result.inserts_acked += 1
 
     def event_checkpoint(self) -> None:
+        RECORDER.tick()
         self.keyspace.checkpoint()
         self.checkpoints += 1
 
     def event_crash(self) -> None:
+        RECORDER.tick()
         self.result.crashes += 1
+        RECORDER.record_injection(
+            "crash", config=self.label, crash=self.result.crashes
+        )
         self._harvest_flaky()
         for base in self.bases:
             base.crash(drop_unsynced=bool(self.rng.randint(2)))
@@ -318,9 +350,16 @@ class _ChaosRun:
             raise
         self.outstanding.clear()  # remount read-repairs what it touches
         self.verify(f"after crash {self.result.crashes}")
+        # The remount's WAL replay + oracle check *is* the detection:
+        # the crash was noticed and recovered, not silently absorbed.
+        RECORDER.record_detection(
+            "crash", config=self.label, crash=self.result.crashes, via="remount"
+        )
+        self._sweep_superseded("read-repaired")
         self.history.append((self._progress(), self._snapshot()))
 
     def event_corrupt(self) -> None:
+        RECORDER.tick()
         replica = self.rng.randint(self.replica_count)
         base = self.bases[replica]
         targets = [
@@ -333,16 +372,25 @@ class _ChaosRun:
         name = targets[self.rng.randint(len(targets))]
         blob = bytearray(base.read(name))
         if self.rng.randint(2) and len(blob) > 1:
-            torn = bytes(blob[: (len(blob) + 1) // 2])
-            base.write(name, torn)
+            mode = "torn"
+            corrupt = bytes(blob[: (len(blob) + 1) // 2])
         else:
+            mode = "bitflip"
             blob[self.rng.randint(len(blob))] ^= 1 + self.rng.randint(255)
-            base.write(name, bytes(blob))
+            corrupt = bytes(blob)
+        base.write(name, corrupt)
         base.sync(name)
         self.outstanding[name] = replica
         self.result.corruptions += 1
+        injection = RECORDER.record_injection(
+            "tamper", blob=name, replica=replica, mode=mode, config=self.label
+        )
+        self.live_injections.append((injection, name, replica, corrupt))
 
     def event_scrub(self) -> None:
+        RECORDER.tick()
+        # Injections a remount already healed were never scrubbable.
+        self._sweep_superseded("read-repaired")
         before = self.mirror.read_repairs
         report = scrub_keyspace(self.mirror, self.chain)
         self.result.scrubs += 1
@@ -351,9 +399,24 @@ class _ChaosRun:
             self._violation(
                 f"scrub left unrepairable blob(s): {', '.join(report.unrepaired)}"
             )
+        # Whatever the scrub overwrote without a MAC-invalid verdict was
+        # healed by the freshness election (a damaged journal tail is
+        # indistinguishable from an honest torn write — wal salvage
+        # semantics, not a MAC break), so it leaves the denominator.
+        self._sweep_superseded("freshness-healed")
+        for inj_id, name, replica, _ in self.live_injections:
+            if name.endswith("wal"):
+                RECORDER.resolve_injection(
+                    inj_id, "torn-tail-salvage", blob=name, replica=replica
+                )
+        # The scrub is the detector of record: anything else still open
+        # here was a genuine miss and must stay open in the record
+        # stream, where the scorecard gate will flag it.
+        self.live_injections = []
         self.outstanding.clear()
 
     def event_rollback(self) -> None:
+        RECORDER.tick()
         candidates = [
             states
             for marker, states in self.history
@@ -364,6 +427,12 @@ class _ChaosRun:
         target = candidates[self.rng.randint(len(candidates))]
         current = self._snapshot()
         self.result.rollbacks_injected += 1
+        # Ground truth before the attack: the anchor's raise (a
+        # ``rollback`` detection record) must close this injection, or
+        # the scorecard gate fails exactly where the campaign would.
+        RECORDER.record_injection(
+            "rollback", config=self.label, rollback=self.result.rollbacks_injected
+        )
         self._build([dict(state) for state in target])
         try:
             self._mount()
@@ -378,8 +447,10 @@ class _ChaosRun:
         self._build(current)
         self._mount()
         self.verify(f"after rollback {self.result.rollbacks_injected}")
+        self._sweep_superseded("read-repaired")
 
     def event_rotate(self) -> None:
+        RECORDER.tick()
         if self.result.rotations >= _MAX_ROTATIONS:
             return
         self.keyspace.rotate(_ROTATION_KEYS[self.result.rotations])

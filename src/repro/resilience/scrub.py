@@ -36,6 +36,7 @@ from typing import Callable
 from repro.core.keys import KeyChain
 from repro.errors import DiskError, PowerCutError
 from repro.observability.audit import AUDIT
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import HUB
 from repro.mac.base import MAC
 
@@ -288,6 +289,7 @@ def _scrub_verified(
     authentic = [i for i, (ok, _) in enumerate(verdicts) if ok]
     if not authentic:
         AUDIT.emit("scrub.unrepaired", blob=name)
+        RECORDER.record_detection("unrepairable", blob=name, via="scrub")
         return BlobOutcome(
             name,
             OUTCOME_UNREPAIRED,
@@ -298,7 +300,13 @@ def _scrub_verified(
     votes = Counter(values[i] for i in electorate)
     winner = votes.most_common(1)[0][0]
     bad = [i for i, value in enumerate(values) if value != winner]
-    return _heal(mirror, name, winner, bad, repair)
+    # MAC-invalid losers are *detections* (only deliberate tampering
+    # defeats the MAC); missing or authentic-but-stale losers are normal
+    # crash/flake residue and stay forensic breadcrumbs.
+    invalid = {
+        i for i in bad if values[i] is not None and not verdicts[i][0]
+    }
+    return _heal(mirror, name, winner, bad, repair, invalid=invalid)
 
 
 def _scrub_unverified(
@@ -320,9 +328,12 @@ def _heal(
     winner: bytes,
     bad: list[int],
     repair: bool,
+    invalid: set[int] = frozenset(),
 ) -> BlobOutcome:
     if not bad:
         return BlobOutcome(name, OUTCOME_OK)
+    for index in sorted(invalid):
+        RECORDER.record_detection("tamper", blob=name, replica=index, via="scrub")
     if not repair:
         return BlobOutcome(
             name, OUTCOME_DIVERGENT, detail=f"{len(bad)} replica(s) differ"
@@ -330,6 +341,8 @@ def _heal(
     healed = tuple(i for i in bad if _rewrite(mirror, i, name, winner))
     for index in healed:
         AUDIT.emit("scrub.repair", blob=name, replica=index)
+        if index not in invalid:
+            RECORDER.note("scrub.freshness-repair", blob=name, replica=index)
     if HUB.enabled:
         for index in healed:
             HUB.event("scrub.repaired_replicas", labels={"replica": index})

@@ -42,6 +42,7 @@ from repro.engine.integrity import verify_database
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.storage import dump_database, load_database
 from repro.errors import CryptoError, ReproError, StorageFormatError
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import HUB
 from repro.robustness.faults import FaultSpec, map_image, plan_fault
 from repro.robustness.recovery import load_database_resilient
@@ -315,12 +316,27 @@ def run_campaign(
         for seed in range(seeds):
             fault = plan_fault(chart, seed)
             faulted = fault.apply(image)
+            RECORDER.tick()
+            injection = RECORDER.record_injection(
+                "storage-fault", config=label, seed=seed
+            )
             # Fresh codec plumbing per trial: decoding is stateless, but
             # sharing one EncryptedDatabase across trials would be a
             # fixture smell, not a restore.
             trial_db = EncryptedDatabase(master_key, config)
             outcome = _classify(faulted, trial_db, catalog, baseline)
             counter[outcome] += 1
+            if outcome in (DETECTED_STRUCTURAL, DETECTED_MAC):
+                RECORDER.record_detection(
+                    "storage-fault", config=label, seed=seed, outcome=outcome
+                )
+            elif outcome == NO_EFFECT:
+                RECORDER.resolve_injection(
+                    injection, "no-effect", config=label, seed=seed
+                )
+            # SILENT_CORRUPTION / LOADER_CRASH stay open on purpose:
+            # the broken schemes miss them, which is the paper's point —
+            # the class is reported but not gated.
 
             resilient_db = EncryptedDatabase(master_key, config)
             record = FaultRecord(

@@ -46,6 +46,7 @@ from repro.core.keys import KeyChain
 from repro.engine.storage import dump_database
 from repro.errors import PowerCutError
 from repro.observability.audit import AUDIT
+from repro.observability.flightrecorder import RECORDER
 from repro.observability.timeseries import HUB
 from repro.robustness.campaign import default_campaign_configs
 from repro.robustness.reporting import format_detection_matrix, sweep_caption
@@ -261,6 +262,10 @@ def _sweep_rotation(
                 )
                 continue
             result.trials += 1
+            RECORDER.tick()
+            RECORDER.record_injection(
+                "crash", config=label, mode=mode, op_index=op_index
+            )
             try:
                 state, recovered = _recovered_state(
                     disk.survivor(), full_chain, config, rows, include_queries
@@ -294,8 +299,16 @@ def _sweep_rotation(
             )
             if state == post:
                 result.recovered_post += 1
+                RECORDER.record_detection(
+                    "crash", config=label, mode=mode, op_index=op_index,
+                    via="rotation-recovery",
+                )
             elif state == pre:
                 result.recovered_pre += 1
+                RECORDER.record_detection(
+                    "crash", config=label, mode=mode, op_index=op_index,
+                    via="rotation-recovery",
+                )
             else:
                 result.violations.append(
                     f"{label}: crash at rotation boundary {op_index} ({mode}, "

@@ -176,3 +176,51 @@ def test_size_profiles_are_ordered():
     quick, full = SizeProfile.quick(), SizeProfile.full()
     assert quick.rows < full.rows
     assert quick.fault_seeds < full.fault_seeds
+
+
+def test_report_embeds_zero_series_drop_counts(quick_report):
+    # The "zero dropped spans" guarantee, extended to telemetry: the
+    # report states positively that no series ring overflowed.  The
+    # bulk_insert scenario never touches the WAL or sharding layers, so
+    # its series list is legitimately empty — the field must still be
+    # present (an empty list, not an absence).
+    assert quick_report["series_dropped"] == []
+
+
+def test_wal_scenario_reports_nonzero_series_all_undropped():
+    report = run_bench(["wal_replay"], quick=True)
+    entries = report["series_dropped"]
+    assert entries  # WAL mounts do emit telemetry
+    assert all(entry["dropped"] == 0 for entry in entries)
+    assert any(entry["series"].startswith("wal.") for entry in entries)
+    keys = [(e["series"], sorted(e["labels"].items())) for e in entries]
+    assert keys == sorted(keys)
+
+
+def test_validate_report_checks_series_dropped_when_present(quick_report):
+    assert validate_report(quick_report) == []
+    # Historical baselines without the field stay valid.
+    legacy = dict(quick_report)
+    legacy.pop("series_dropped")
+    assert validate_report(legacy) == []
+    broken = dict(quick_report)
+    broken["series_dropped"] = [{"series": "", "dropped": -1}]
+    problems = validate_report(broken)
+    assert any("non-empty 'series'" in p for p in problems)
+    assert any("non-negative" in p for p in problems)
+
+
+def test_telemetry_dropped_entries_snapshots_the_hub():
+    from repro.bench.harness import telemetry_dropped_entries
+    from repro.observability.timeseries import TelemetryHub
+
+    hub = TelemetryHub(capacity=2)
+    hub.enable()
+    for value in range(5):
+        hub.record("wal.bytes", value, {"shard": "s0"})
+    hub.record("ops", 1.0)
+    entries = telemetry_dropped_entries(hub)
+    assert entries == [
+        {"series": "ops", "labels": {}, "dropped": 0},
+        {"series": "wal.bytes", "labels": {"shard": "s0"}, "dropped": 3},
+    ]

@@ -201,3 +201,29 @@ def test_default_capacity_applies():
     assert len(series.samples) == 2
     assert series.dropped == 2
     assert DEFAULT_CAPACITY == 512
+
+
+def test_series_dropped_samples_reports_every_series():
+    from repro.observability.export import (
+        render_prometheus_samples,
+        series_dropped_samples,
+    )
+
+    hub = _enabled_hub(capacity=2)
+    for value in range(5):
+        hub.record("wal.bytes", value, labels={"shard": "s0"})
+    hub.record("ops", 1.0)
+    samples = series_dropped_samples(hub.snapshot()["series"])
+    # Zero counts are reported too — silence is not evidence.
+    assert ("series.dropped", {"series": "ops"}, 0) in samples
+    assert (
+        "series.dropped",
+        {"shard": "s0", "series": "wal.bytes"},
+        3,
+    ) in samples
+    rendered = render_prometheus_samples(samples, type_hint="counter")
+    assert "# TYPE repro_series_dropped counter" in rendered
+    assert 'repro_series_dropped{series="ops"} 0' in rendered
+    assert (
+        'repro_series_dropped{series="wal.bytes",shard="s0"} 3' in rendered
+    )

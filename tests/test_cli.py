@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -449,7 +451,11 @@ def test_monitor_healthy_writes_artifacts(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["schema"] == "repro-health/1"
     assert doc["ok"] is True
-    assert 'shard="s0"' in prom.read_text()
+    prom_text = prom.read_text()
+    assert 'shard="s0"' in prom_text
+    # Ring-drop counters ride along with the gauge export, zeros too.
+    assert "# TYPE repro_series_dropped counter" in prom_text
+    assert "repro_series_dropped{" in prom_text
     assert jsonl.read_text().count("\n") == len(doc["series"])
 
 
@@ -525,3 +531,95 @@ def test_scrub_unrepairable_fault_exits_nonzero(tmp_path, capsys):
 def test_scrub_requires_two_replicas(capsys, tmp_path):
     assert main(["scrub", "--replica", str(tmp_path / "only")]) == 2
     assert "at least two" in capsys.readouterr().err
+
+
+#: Every subcommand with one representative bad invocation.  The exit
+#: code contract is uniform: 0 success, 1 finding, 2 usage error — and
+#: a usage error always prints ``error: ...`` plus the usage text, never
+#: a traceback.
+_USAGE_ERRORS = [
+    ("demo", ["unexpected"]),
+    ("attacks", ["--bogus"]),
+    ("overhead", ["unexpected"]),
+    ("collisions", ["1", "2"]),
+    ("faultcampaign", ["--bogus"]),
+    ("crashcampaign", ["--bogus"]),
+    ("chaoscampaign", ["--bogus"]),
+    ("scrub", ["--bogus"]),
+    ("rotate", ["--bogus"]),
+    ("bench", ["--bogus"]),
+    ("backendparity", ["--bogus"]),
+    ("audit", ["--bogus"]),
+    ("trace", ["--bogus"]),
+    ("explain", ["--bogus"]),
+    ("monitor", ["--bogus"]),
+    ("forensics", ["--bogus"]),
+]
+
+
+@pytest.mark.parametrize(
+    "command,argv", _USAGE_ERRORS, ids=[cmd for cmd, _ in _USAGE_ERRORS]
+)
+def test_every_subcommand_exits_2_on_usage_error(command, argv, capsys):
+    assert main([command, *argv]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "Commands" in captured.out  # usage text, not a traceback
+
+
+def test_forensics_requires_exactly_one_mode(capsys):
+    assert main(["forensics"]) == 2
+    assert "exactly one of" in capsys.readouterr().err
+    assert main(["forensics", "--chaos", "--healthy"]) == 2
+    assert "exactly one of" in capsys.readouterr().err
+    assert main(["forensics", "a.json", "b.json"]) == 2
+    assert "at most one" in capsys.readouterr().err
+
+
+def test_forensics_rejects_bad_inputs(tmp_path, capsys):
+    assert main(["forensics", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read flight report" in capsys.readouterr().err
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{}")
+    assert main(["forensics", str(garbage)]) == 2
+    assert "not a valid flight report" in capsys.readouterr().err
+    assert main(["forensics", "--chaos", "--configs", "teleport"]) == 2
+    assert "configuration slug" in capsys.readouterr().err
+    assert main(["forensics", "--healthy", "--inject", "gremlins"]) == 2
+    assert "unknown injection" in capsys.readouterr().err
+    assert main(["forensics", "--healthy", "--scenario", "teleport"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["forensics", "--chaos", "--steps", "0"]) == 2
+    assert "--steps must be at least 1" in capsys.readouterr().err
+
+
+def test_forensics_chaos_writes_and_regrades_flight(tmp_path, capsys):
+    out = tmp_path / "FLIGHT.json"
+    assert main(["forensics", "--chaos", "--steps", "10",
+                 "--configs", "aead-eax", "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "detection scorecard" in captured.out
+    assert "detection gate:" in captured.out
+    assert out.exists()
+
+    from repro.observability.flightrecorder import validate_flight_report
+
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-flight/1"
+    assert validate_flight_report(doc) == []
+
+    # Grading the artifact stands alone, timeline included.
+    assert main(["forensics", str(out), "--timeline"]) == 0
+    captured = capsys.readouterr()
+    assert "scorecard gate: OK" in captured.out
+    assert "incident timeline" in captured.out
+    assert "<- injection=inj-" in captured.out
+
+
+def test_forensics_healthy_control_and_injected_negative(capsys):
+    assert main(["forensics", "--healthy", "--scenario", "shard_rotation",
+                 "--limit", "6"]) == 0
+    assert "no incidents" in capsys.readouterr().out
+    assert main(["forensics", "--healthy", "--scenario", "shard_rotation",
+                 "--limit", "6", "--inject", "cipher-miscount"]) == 1
+    assert "INCIDENT:" in capsys.readouterr().err
